@@ -1,0 +1,35 @@
+//! The hand-written analytical performance model baseline.
+//!
+//! Stands in for "a mature analytical performance model that estimates the
+//! execution time of a kernel on a TPU … extremely complex, taking several
+//! person-years to develop" (§3.2, §6.1 of the paper). Like XLA's model, it
+//!
+//! - emits costs in **different abstract scales per kernel type**, mapped
+//!   to nanoseconds by [`Calibration`] coefficients fitted on
+//!   default-config hardware runs (§6.1's procedure),
+//! - is tile-size aware and strong at *ranking* tile sizes (§6.2),
+//! - cannot score kernels without tile-size options (footnote 3) —
+//!   [`AnalyticalModel::raw_cost`] returns `None` for those.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_analytical::{AnalyticalModel, Calibration};
+//! use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+//! use tpu_sim::TpuConfig;
+//!
+//! let mut b = GraphBuilder::new("k");
+//! let x = b.parameter("x", Shape::matrix(1024, 1024), DType::F32);
+//! let t = b.tanh(x);
+//! let kernel = Kernel::new(b.finish(t));
+//!
+//! let model = AnalyticalModel::new(TpuConfig::default());
+//! let raw = model.raw_cost(&kernel);
+//! assert!(raw.is_some());
+//! ```
+
+mod calibrate;
+mod model;
+
+pub use calibrate::Calibration;
+pub use model::AnalyticalModel;

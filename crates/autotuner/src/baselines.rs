@@ -1,0 +1,203 @@
+//! Alternative search strategies, for ablating the simulated-annealing
+//! choice: pure random search and greedy hill climbing under the same
+//! evaluation budget.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tpu_fusion::{FusionConfig, FusionSpace};
+
+/// Result of a baseline search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub best_config: FusionConfig,
+    /// Its objective value.
+    pub best_cost: f64,
+    /// Number of objective evaluations performed.
+    pub evals: usize,
+}
+
+/// Pure random search: sample `steps` configurations uniformly (fusion
+/// probability drawn per sample), keep the best. The paper's dataset
+/// generator uses this strategy (§5); as an *optimizer* it is the weakest
+/// baseline.
+pub fn random_search<F>(
+    space: &FusionSpace,
+    start: FusionConfig,
+    mut objective: F,
+    steps: usize,
+    seed: u64,
+) -> SearchResult
+where
+    F: FnMut(&FusionConfig) -> f64,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best = start.clone();
+    let mut best_cost = objective(&start);
+    let mut evals = 1;
+    if best_cost.is_nan() {
+        return SearchResult {
+            best_config: best,
+            best_cost: f64::INFINITY,
+            evals,
+        };
+    }
+    for _ in 0..steps {
+        let p = rng.gen_range(0.1..0.9);
+        let cand = space.random(&mut rng, p);
+        let cost = objective(&cand);
+        if cost.is_nan() {
+            break;
+        }
+        evals += 1;
+        if cost < best_cost {
+            best = cand;
+            best_cost = cost;
+        }
+    }
+    SearchResult {
+        best_config: best,
+        best_cost,
+        evals,
+    }
+}
+
+/// Greedy hill climbing: repeatedly try single-bit flips, accept only
+/// improvements, restart from the best on stagnation. Strong locally but
+/// prone to local minima — the gap to SA measures how multimodal the
+/// fusion landscape is.
+pub fn hill_climb<F>(
+    space: &FusionSpace,
+    start: FusionConfig,
+    mut objective: F,
+    steps: usize,
+    seed: u64,
+) -> SearchResult
+where
+    F: FnMut(&FusionConfig) -> f64,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut current = start.clone();
+    let mut current_cost = objective(&current);
+    let mut evals = 1;
+    if current_cost.is_nan() {
+        return SearchResult {
+            best_config: current,
+            best_cost: f64::INFINITY,
+            evals,
+        };
+    }
+    let mut stagnation = 0usize;
+    for _ in 0..steps {
+        let cand = space.perturb(&current, &mut rng, 1);
+        let cost = objective(&cand);
+        if cost.is_nan() {
+            break;
+        }
+        evals += 1;
+        if cost < current_cost {
+            current = cand;
+            current_cost = cost;
+            stagnation = 0;
+        } else {
+            stagnation += 1;
+            // Kick: after long stagnation, take a 3-bit jump to escape.
+            if stagnation > 50 && space.num_edges() > 0 {
+                let kick = space.perturb(&current, &mut rng, 3);
+                let kcost = objective(&kick);
+                if kcost.is_nan() {
+                    break;
+                }
+                evals += 1;
+                if kcost < current_cost {
+                    current = kick;
+                    current_cost = kcost;
+                }
+                stagnation = 0;
+            }
+        }
+    }
+    SearchResult {
+        best_config: current,
+        best_cost: current_cost,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Program, Shape};
+
+    fn space() -> FusionSpace {
+        let mut b = GraphBuilder::new("t");
+        let mut v = b.parameter("x", Shape::matrix(64, 64), DType::F32);
+        for _ in 0..14 {
+            v = b.tanh(v);
+        }
+        let p = Program::new("chain", b.finish(v));
+        FusionSpace::new(&p.computation)
+    }
+
+    fn unfused_count(c: &FusionConfig) -> f64 {
+        (c.decisions.len() - c.num_fused()) as f64
+    }
+
+    #[test]
+    fn random_search_improves_over_start() {
+        let s = space();
+        let start = s.none();
+        let r = random_search(&s, start.clone(), unfused_count, 300, 0);
+        assert!(r.best_cost < unfused_count(&start));
+        assert!(r.evals > 100);
+    }
+
+    #[test]
+    fn hill_climb_finds_optimum_on_unimodal_objective() {
+        let s = space();
+        let r = hill_climb(&s, s.none(), unfused_count, 2_000, 0);
+        assert_eq!(r.best_cost, 0.0, "unimodal objective must be solved");
+    }
+
+    #[test]
+    fn budget_exhaustion_respected() {
+        let s = space();
+        let mut budget = 7;
+        let r = random_search(
+            &s,
+            s.none(),
+            |c| {
+                if budget == 0 {
+                    return f64::NAN;
+                }
+                budget -= 1;
+                c.num_fused() as f64
+            },
+            1_000,
+            0,
+        );
+        assert!(r.evals <= 7);
+    }
+
+    #[test]
+    fn hill_climb_beats_random_on_structured_objective() {
+        // Objective with a gradient: squared distance to a target config.
+        let s = space();
+        let target: Vec<bool> = (0..s.num_edges()).map(|i| i % 3 != 0).collect();
+        let dist = |c: &FusionConfig| -> f64 {
+            c.decisions
+                .iter()
+                .zip(&target)
+                .filter(|(a, b)| a != b)
+                .count() as f64
+        };
+        let hc = hill_climb(&s, s.none(), dist, 400, 1);
+        let rs = random_search(&s, s.none(), dist, 400, 1);
+        assert!(
+            hc.best_cost <= rs.best_cost,
+            "hill climbing should exploit structure: {} vs {}",
+            hc.best_cost,
+            rs.best_cost
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The §6.3 experiment protocol: autotuning under a limited hardware
+//! budget, with and without the learned performance model.
+
+use crate::sa::{simulated_annealing, SaConfig};
+use std::collections::HashMap;
+use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpace};
+use tpu_hlo::{kernel_hash, FusedProgram, Program};
+use tpu_sim::TpuDevice;
+
+/// Where the search starts (§6.3 runs the autotuner "in two modes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// From the compiler's default heuristic configuration.
+    Default,
+    /// From a uniformly random configuration.
+    Random,
+}
+
+/// Budgets of the experiment.
+#[derive(Debug, Clone)]
+pub struct Budgets {
+    /// Hardware time available to the budgeted runs, ns (paper: 5 min).
+    pub hardware_ns: f64,
+    /// Model-guided SA steps (paper: 1 h of CPU; here a step count).
+    pub model_steps: usize,
+    /// Hardware time for the "best known" reference run (paper: 4 h).
+    pub best_known_ns: f64,
+    /// How many model-ranked configs to re-measure on hardware.
+    pub top_k: usize,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            hardware_ns: 300e9,     // 5 minutes
+            model_steps: 4_000,     // "one hour on a CPU"
+            best_known_ns: 14_400e9, // 4 hours
+            top_k: 16,
+        }
+    }
+}
+
+/// Outcome of one autotuning run.
+#[derive(Debug, Clone)]
+pub struct TunedConfig {
+    /// The chosen configuration.
+    pub config: FusionConfig,
+    /// Noiseless true runtime of the program under it, ns.
+    pub true_ns: f64,
+    /// Hardware evaluations spent.
+    pub hw_evals: usize,
+}
+
+/// Evaluate a config's program runtime on the device (one noisy run plus
+/// the compile/eval overhead), or `None` if the budget is exhausted.
+fn hw_eval(
+    program: &Program,
+    space: &FusionSpace,
+    config: &FusionConfig,
+    device: &TpuDevice,
+    budget_ns: f64,
+) -> Option<f64> {
+    if device.device_time_used() >= budget_ns {
+        return None;
+    }
+    device.charge_eval_overhead();
+    let fused = apply_fusion(program, space, config);
+    Some(device.execute_program(&fused))
+}
+
+/// The starting configuration for a mode.
+pub fn start_config(
+    program: &Program,
+    space: &FusionSpace,
+    mode: StartMode,
+    seed: u64,
+) -> FusionConfig {
+    match mode {
+        StartMode::Default => tpu_fusion::default_config(&program.computation, space),
+        StartMode::Random => {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            space.random(&mut rng, 0.5)
+        }
+    }
+}
+
+/// Baseline: "the original autotuner, which uses only the real hardware to
+/// evaluate fusion configs", running until the budget is spent.
+pub fn autotune_hardware_only(
+    program: &Program,
+    device: &TpuDevice,
+    mode: StartMode,
+    budget_ns: f64,
+    seed: u64,
+) -> TunedConfig {
+    let (space, _) = default_space_and_config(&program.computation);
+    let start = start_config(program, &space, mode, seed);
+    device.reset_time_used();
+    let mut hw_evals = 0usize;
+    let result = simulated_annealing(
+        &space,
+        start.clone(),
+        |cfg| match hw_eval(program, &space, cfg, device, budget_ns) {
+            Some(t) => {
+                hw_evals += 1;
+                t
+            }
+            None => f64::NAN,
+        },
+        &SaConfig {
+            steps: usize::MAX >> 1,
+            seed,
+            ..Default::default()
+        },
+    );
+    let best = if result.best_cost.is_finite() {
+        result.best_config
+    } else {
+        start
+    };
+    let fused = apply_fusion(program, &space, &best);
+    TunedConfig {
+        true_ns: device.true_program_time(&fused),
+        config: best,
+        hw_evals,
+    }
+}
+
+/// Model-guided: SA on the cost model for `model_steps` (no hardware),
+/// then the top-k model-ranked configs are measured on hardware within the
+/// budget and the best measured one wins (§6.3's protocol).
+///
+/// `kernel_cost` predicts one kernel's runtime in ns; per-kernel
+/// predictions are cached across configurations by canonical kernel hash,
+/// which is what makes the model evaluations "cheap" relative to hardware.
+pub fn autotune_with_model<F>(
+    program: &Program,
+    device: &TpuDevice,
+    mut kernel_cost: F,
+    mode: StartMode,
+    budgets: &Budgets,
+    seed: u64,
+) -> TunedConfig
+where
+    F: FnMut(&tpu_hlo::Kernel) -> f64,
+{
+    let (space, _) = default_space_and_config(&program.computation);
+    let start = start_config(program, &space, mode, seed);
+
+    // Phase 1: model-guided annealing on the CPU.
+    let mut cache: HashMap<u64, f64> = HashMap::new();
+    let mut predict_program = |fused: &FusedProgram| -> f64 {
+        fused
+            .kernels
+            .iter()
+            .map(|k| {
+                let h = kernel_hash(k);
+                *cache.entry(h).or_insert_with(|| kernel_cost(k))
+            })
+            .sum()
+    };
+    let result = simulated_annealing(
+        &space,
+        start.clone(),
+        |cfg| {
+            let fused = apply_fusion(program, &space, cfg);
+            predict_program(&fused)
+        },
+        &SaConfig {
+            steps: budgets.model_steps,
+            seed,
+            top_k: budgets.top_k,
+            ..Default::default()
+        },
+    );
+
+    // Phase 2: measure the model's top configs on real hardware, best
+    // measured wins. Include the start config as a safety net, mirroring
+    // the autotuner never doing worse than its starting point *when the
+    // hardware confirms it*.
+    device.reset_time_used();
+    let mut candidates: Vec<FusionConfig> =
+        result.top.into_iter().map(|(c, _)| c).collect();
+    if !candidates.contains(&start) {
+        candidates.push(start.clone());
+    }
+    let mut best: Option<(FusionConfig, f64)> = None;
+    let mut hw_evals = 0;
+    for cfg in candidates {
+        match hw_eval(program, &space, &cfg, device, budgets.hardware_ns) {
+            Some(t) => {
+                hw_evals += 1;
+                if best.as_ref().map_or(true, |(_, bt)| t < *bt) {
+                    best = Some((cfg, t));
+                }
+            }
+            None => break,
+        }
+    }
+    let chosen = best.map(|(c, _)| c).unwrap_or(start);
+    let fused = apply_fusion(program, &space, &chosen);
+    TunedConfig {
+        true_ns: device.true_program_time(&fused),
+        config: chosen,
+        hw_evals,
+    }
+}
+
+/// Speedup of a tuned config over the default heuristic config (how Fig. 4
+/// reports results: "runtime speedup … over the default configuration").
+pub fn speedup_over_default(program: &Program, device: &TpuDevice, tuned: &TunedConfig) -> f64 {
+    let (space, default_cfg) = default_space_and_config(&program.computation);
+    let default_fp = apply_fusion(program, &space, &default_cfg);
+    device.true_program_time(&default_fp) / tuned.true_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+    use tpu_sim::TpuConfig;
+
+    /// A program with enough fusion decisions to tune: interleaved
+    /// elementwise chains and dots with a multi-consumer node.
+    fn program() -> Program {
+        let mut b = GraphBuilder::new("main");
+        let x = b.parameter("x", Shape::matrix(512, 512), DType::F32);
+        let w1 = b.parameter("w1", Shape::matrix(512, 512), DType::F32);
+        let mut v = x;
+        for i in 0..3 {
+            let t = b.tanh(v);
+            let e = b.exp(t);
+            let s = b.add(t, e);
+            v = if i == 1 { b.dot(s, w1) } else { s };
+        }
+        let r = b.reduce(v, vec![1]);
+        let t2 = b.tanh(r);
+        Program::new("tunable", b.finish(t2))
+    }
+
+    fn quick_budgets() -> Budgets {
+        Budgets {
+            hardware_ns: 40e9,
+            model_steps: 400,
+            best_known_ns: 200e9,
+            top_k: 6,
+        }
+    }
+
+    #[test]
+    fn hardware_only_respects_budget() {
+        let p = program();
+        let device = TpuDevice::new(3);
+        let tuned = autotune_hardware_only(&p, &device, StartMode::Default, 20e9, 1);
+        // ~1.5 s overhead per eval: at most ~13 evals + slack.
+        assert!(tuned.hw_evals <= 15, "evals={}", tuned.hw_evals);
+        assert!(tuned.true_ns > 0.0);
+    }
+
+    #[test]
+    fn model_guided_beats_or_matches_hardware_only_from_random_start() {
+        let p = program();
+        let cfg = TpuConfig::default();
+        let device = TpuDevice::new(3);
+        let budgets = quick_budgets();
+        // Oracle model (the simulator itself) — upper bound for a learned model.
+        let mut best_model = f64::INFINITY;
+        let mut best_hw = f64::INFINITY;
+        for seed in 0..3 {
+            let m = autotune_with_model(
+                &p,
+                &device,
+                |k| tpu_sim::kernel_time_ns(k, &cfg),
+                StartMode::Random,
+                &budgets,
+                seed,
+            );
+            best_model = best_model.min(m.true_ns);
+            let h = autotune_hardware_only(&p, &device, StartMode::Random, budgets.hardware_ns, seed);
+            best_hw = best_hw.min(h.true_ns);
+        }
+        assert!(
+            best_model <= best_hw * 1.02,
+            "model-guided {best_model} should be at least as good as hw-only {best_hw}"
+        );
+    }
+
+    #[test]
+    fn tuning_from_default_does_not_regress() {
+        let p = program();
+        let cfg = TpuConfig::default();
+        let device = TpuDevice::new(9);
+        let tuned = autotune_with_model(
+            &p,
+            &device,
+            |k| tpu_sim::kernel_time_ns(k, &cfg),
+            StartMode::Default,
+            &quick_budgets(),
+            0,
+        );
+        let s = speedup_over_default(&p, &device, &tuned);
+        assert!(s >= 0.99, "speedup={s}");
+    }
+
+    #[test]
+    fn start_config_modes_differ() {
+        let p = program();
+        let (space, _) = default_space_and_config(&p.computation);
+        let d = start_config(&p, &space, StartMode::Default, 0);
+        let r = start_config(&p, &space, StartMode::Random, 0);
+        assert_ne!(d, r);
+        // Random depends on seed.
+        let r2 = start_config(&p, &space, StartMode::Random, 1);
+        assert_ne!(r, r2);
+    }
+}

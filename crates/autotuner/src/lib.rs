@@ -1,0 +1,46 @@
+//! The fusion autotuner (§3.1, §6.3).
+//!
+//! Searches the `2^E` space of fusion configurations with simulated
+//! annealing, evaluating candidates either on "real hardware" (the
+//! device-time-metered simulator) or through a learned cost model — the
+//! paper's headline application: when hardware access is limited, the
+//! model-guided autotuner discovers faster configurations than hardware
+//! alone (Fig. 4).
+//!
+//! - [`simulated_annealing`] — the annealer, generic over any objective,
+//! - [`autotune_hardware_only`] — the baseline autotuner under a hardware
+//!   budget,
+//! - [`autotune_with_model`] — model-guided search + top-k hardware
+//!   re-ranking (the §6.3 protocol),
+//! - [`random_configs`] — the dataset-generation random search (§5).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_autotuner::{autotune_hardware_only, StartMode};
+//! use tpu_hlo::{DType, GraphBuilder, Program, Shape};
+//! use tpu_sim::TpuDevice;
+//!
+//! let mut b = GraphBuilder::new("main");
+//! let x = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+//! let t = b.tanh(x);
+//! let e = b.exp(t);
+//! let program = Program::new("demo", b.finish(e));
+//!
+//! let device = TpuDevice::new(0);
+//! let tuned = autotune_hardware_only(&program, &device, StartMode::Default, 10e9, 0);
+//! assert!(tuned.true_ns > 0.0);
+//! ```
+
+mod baselines;
+mod harness;
+mod random_search;
+mod sa;
+
+pub use harness::{
+    autotune_hardware_only, autotune_with_model, speedup_over_default, start_config, Budgets,
+    StartMode, TunedConfig,
+};
+pub use baselines::{hill_climb, random_search, SearchResult};
+pub use random_search::random_configs;
+pub use sa::{simulated_annealing, SaConfig, SaResult};

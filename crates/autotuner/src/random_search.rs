@@ -1,0 +1,65 @@
+//! Random search over fusion configurations — the strategy used to
+//! generate the fusion dataset (§5: "we run our fusion autotuner with a
+//! random search strategy to generate 50,000 fusion configurations … for
+//! each input computation graph").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tpu_fusion::{FusionConfig, FusionSpace};
+
+/// Generate `n` random fusion configurations with fusion probabilities
+/// drawn per-config from `[0.1, 0.9]` (diverse densities explore both
+/// mostly-unfused and mostly-fused regions of the space), deduplicated.
+pub fn random_configs(space: &FusionSpace, n: usize, seed: u64) -> Vec<FusionConfig> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<FusionConfig> = Vec::with_capacity(n);
+    let mut tries = 0usize;
+    while out.len() < n && tries < n * 4 {
+        tries += 1;
+        let p = rng.gen_range(0.1..0.9);
+        let cfg = space.random(&mut rng, p);
+        if !out.contains(&cfg) {
+            out.push(cfg);
+        }
+        if space.num_edges() == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    #[test]
+    fn generates_distinct_configs() {
+        let mut b = GraphBuilder::new("t");
+        let mut v = b.parameter("x", Shape::matrix(64, 64), DType::F32);
+        for _ in 0..10 {
+            v = b.tanh(v);
+        }
+        let c = b.finish(v);
+        let space = FusionSpace::new(&c);
+        let configs = random_configs(&space, 50, 0);
+        assert_eq!(configs.len(), 50);
+        for i in 0..configs.len() {
+            for j in (i + 1)..configs.len() {
+                assert_ne!(configs[i], configs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_at_most_one() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let t = b.tanh(x);
+        let c = b.finish(t);
+        let space = FusionSpace::new(&c);
+        assert_eq!(space.num_edges(), 0);
+        let configs = random_configs(&space, 10, 0);
+        assert!(configs.len() <= 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulated annealing over fusion configurations (§6.3: "we run simulated
+//! annealing search using the learned performance model").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tpu_fusion::{FusionConfig, FusionSpace};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Maximum number of candidate evaluations.
+    pub steps: usize,
+    /// Initial temperature (relative cost scale).
+    pub init_temp: f64,
+    /// Final temperature.
+    pub final_temp: f64,
+    /// Decision bits flipped per move.
+    pub flips: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Keep the best `top_k` distinct configs seen (for the §6.3 protocol
+    /// of re-ranking model-chosen configs on real hardware).
+    pub top_k: usize,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            steps: 2_000,
+            init_temp: 0.10,
+            final_temp: 0.002,
+            flips: 2,
+            seed: 7,
+            top_k: 16,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Best configuration found.
+    pub best_config: FusionConfig,
+    /// Its objective value.
+    pub best_cost: f64,
+    /// Number of objective evaluations performed.
+    pub evals: usize,
+    /// The best `top_k` distinct configurations, ascending by cost.
+    pub top: Vec<(FusionConfig, f64)>,
+}
+
+/// Run simulated annealing from `start`, minimizing `objective`.
+///
+/// `objective` may return `f64::INFINITY` to reject a configuration. The
+/// search also stops early when `objective` signals exhaustion by
+/// returning `f64::NAN` (used by hardware-budgeted runs).
+pub fn simulated_annealing<F>(
+    space: &FusionSpace,
+    start: FusionConfig,
+    mut objective: F,
+    cfg: &SaConfig,
+) -> SaResult
+where
+    F: FnMut(&FusionConfig) -> f64,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut current = start.clone();
+    let mut current_cost = objective(&current);
+    let mut evals = 1;
+    let mut top: Vec<(FusionConfig, f64)> = Vec::new();
+    let push_top = |cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfig, f64)>| {
+        if !cost.is_finite() {
+            return;
+        }
+        if top.iter().any(|(c, _)| c == cfg_) {
+            return;
+        }
+        top.push((cfg_.clone(), cost));
+        top.sort_by(|a, b| a.1.total_cmp(&b.1));
+        top.truncate(k);
+    };
+    if current_cost.is_nan() {
+        // Budget exhausted on the very first evaluation.
+        return SaResult {
+            best_config: current.clone(),
+            best_cost: f64::INFINITY,
+            evals,
+            top,
+        };
+    }
+    push_top(&current, current_cost, cfg.top_k, &mut top);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    for step in 0..cfg.steps {
+        let frac = step as f64 / cfg.steps.max(1) as f64;
+        let temp = cfg.init_temp * (cfg.final_temp / cfg.init_temp).powf(frac);
+        let cand = space.perturb(&current, &mut rng, cfg.flips);
+        let cost = objective(&cand);
+        if cost.is_nan() {
+            break; // budget exhausted
+        }
+        evals += 1;
+        push_top(&cand, cost, cfg.top_k, &mut top);
+        if cost < best_cost {
+            best = cand.clone();
+            best_cost = cost;
+        }
+        // Metropolis acceptance on relative cost.
+        let rel = (cost - current_cost) / current_cost.abs().max(1e-9);
+        if rel <= 0.0 || rng.gen::<f64>() < (-rel / temp.max(1e-12)).exp() {
+            current = cand;
+            current_cost = cost;
+        }
+    }
+
+    SaResult {
+        best_config: best,
+        best_cost,
+        evals,
+        top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Program, Shape};
+
+    fn chain_program(n: usize) -> Program {
+        let mut b = GraphBuilder::new("main");
+        let mut v = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+        for i in 0..n {
+            v = if i % 2 == 0 { b.tanh(v) } else { b.exp(v) };
+        }
+        Program::new("chain", b.finish(v))
+    }
+
+    #[test]
+    fn sa_minimizes_toy_objective() {
+        // Objective: number of *unfused* edges — optimum is all-fused.
+        let p = chain_program(12);
+        let space = FusionSpace::new(&p.computation);
+        let start = space.none();
+        let result = simulated_annealing(
+            &space,
+            start,
+            |c| (c.decisions.len() - c.num_fused()) as f64,
+            &SaConfig {
+                steps: 3_000,
+                flips: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.best_cost, 0.0, "should find the all-fused config");
+        assert!(result.evals > 100);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_distinct() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let result = simulated_annealing(
+            &space,
+            space.none(),
+            |c| (c.decisions.len() - c.num_fused()) as f64,
+            &SaConfig {
+                steps: 500,
+                top_k: 5,
+                ..Default::default()
+            },
+        );
+        assert!(result.top.len() <= 5);
+        for w in result.top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn nan_objective_stops_search() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let mut budget = 10;
+        let result = simulated_annealing(
+            &space,
+            space.none(),
+            |c| {
+                if budget == 0 {
+                    return f64::NAN;
+                }
+                budget -= 1;
+                c.num_fused() as f64
+            },
+            &SaConfig {
+                steps: 10_000,
+                ..Default::default()
+            },
+        );
+        assert!(result.evals <= 10, "evals={}", result.evals);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let run = |seed| {
+            simulated_annealing(
+                &space,
+                space.none(),
+                |c| (c.decisions.len() - c.num_fused()) as f64,
+                &SaConfig {
+                    steps: 200,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .best_cost
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench: per-kernel cost-prediction latency for every backend.
+//!
+//! The paper's §6.3 rests on model inference being orders of magnitude
+//! cheaper than compiling and running a config on the TPU; this bench
+//! quantifies the learned model's CPU inference cost against the
+//! analytical model and the simulator oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_analytical::{AnalyticalModel, Calibration};
+use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+use tpu_learned_cost::{GnnConfig, GnnModel, LstmConfig, LstmModel};
+use tpu_sim::{kernel_time_ns, TpuConfig};
+
+fn representative_kernel() -> Kernel {
+    // A dot + elementwise epilogue fusion, the most common heavy kernel.
+    let mut b = GraphBuilder::new("k");
+    let x = b.parameter("x", Shape::matrix(256, 512), DType::F32);
+    let w = b.parameter("w", Shape::matrix(512, 256), DType::F32);
+    let d = b.dot(x, w);
+    let bias = b.parameter("b", Shape::vector(256), DType::F32);
+    let bb = b.broadcast(bias, Shape::matrix(256, 256), vec![1]);
+    let z = b.add(d, bb);
+    let r = b.relu(z);
+    Kernel::new(b.finish(r))
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let kernel = representative_kernel();
+    let cfg = TpuConfig::default();
+    let mut group = c.benchmark_group("kernel_cost_prediction");
+
+    let gnn = GnnModel::new(GnnConfig::default());
+    group.bench_function("gnn_learned_model", |b| {
+        b.iter(|| black_box(gnn.predict_ns(black_box(&kernel))))
+    });
+
+    let lstm = LstmModel::new(LstmConfig::default());
+    group.bench_function("lstm_baseline", |b| {
+        b.iter(|| black_box(lstm.predict_ns(black_box(&kernel))))
+    });
+
+    let analytical = AnalyticalModel::new(cfg.clone());
+    let cal = Calibration::identity();
+    group.bench_function("analytical_model", |b| {
+        b.iter(|| black_box(cal.predict_ns(&analytical, black_box(&kernel))))
+    });
+
+    group.bench_function("simulator_oracle", |b| {
+        b.iter(|| black_box(kernel_time_ns(black_box(&kernel), &cfg)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: throughput of the compiler-side pipelines that the
+//! autotuner and dataset generation hammer — the fusion pass, tile
+//! enumeration, featurization, canonical hashing, and a full model-guided
+//! SA step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_dataset::models;
+use tpu_fusion::{apply_fusion, default_space_and_config, FusionSpace};
+use tpu_hlo::{canonical_hash, Kernel};
+use tpu_learned_cost::features::kernel_features;
+use tpu_sim::TpuConfig;
+use tpu_tile::valid_tile_sizes;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = models::resnet_v1("bench", 2, 14, 16, 3);
+    let (space, default_cfg) = default_space_and_config(&program.computation);
+    let fused = apply_fusion(&program, &space, &default_cfg);
+    let kernel: &Kernel = fused
+        .kernels
+        .iter()
+        .max_by_key(|k| k.num_ops())
+        .expect("kernels");
+    let machine = TpuConfig::default();
+
+    let mut group = c.benchmark_group("pipeline");
+
+    group.bench_function("fusion_space_build", |b| {
+        b.iter(|| black_box(FusionSpace::new(black_box(&program.computation))))
+    });
+
+    group.bench_function("fusion_pass_apply", |b| {
+        b.iter(|| black_box(apply_fusion(&program, &space, black_box(&default_cfg))))
+    });
+
+    group.bench_function("tile_enumeration", |b| {
+        b.iter(|| black_box(valid_tile_sizes(black_box(kernel), &machine, 64)))
+    });
+
+    group.bench_function("feature_extraction", |b| {
+        b.iter(|| black_box(kernel_features(black_box(kernel))))
+    });
+
+    group.bench_function("canonical_hash", |b| {
+        b.iter(|| black_box(canonical_hash(black_box(&kernel.computation))))
+    });
+
+    group.bench_function("simulate_program", |b| {
+        b.iter(|| {
+            let total: f64 = fused
+                .kernels
+                .iter()
+                .map(|k| tpu_sim::kernel_time_ns(k, &machine))
+                .sum();
+            black_box(total)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

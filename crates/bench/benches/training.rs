@@ -1,0 +1,61 @@
+//! Criterion bench: one optimizer step (forward + backward + Adam) for the
+//! GNN and the LSTM baseline on an identical batch — the unit of the V100
+//! training cost the paper pays, here on CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_learned_cost::{
+    prepare, train, GnnConfig, GnnModel, LstmConfig, LstmModel, Sample, TaskLoss, TrainConfig,
+};
+use tpu_sim::{kernel_time_ns, TpuConfig};
+
+fn batch_samples() -> Vec<Sample> {
+    let cfg = TpuConfig::default();
+    let program = tpu_dataset::models::transformer("bench", 1, 16, 32, 2);
+    let (space, default_cfg) = tpu_fusion::default_space_and_config(&program.computation);
+    let fused = tpu_fusion::apply_fusion(&program, &space, &default_cfg);
+    fused
+        .kernels
+        .into_iter()
+        .take(24)
+        .map(|k| {
+            let t = kernel_time_ns(&k, &cfg);
+            Sample::new(k, t)
+        })
+        .collect()
+}
+
+fn one_epoch_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch_size: 24,
+        lr: 1e-3,
+        loss: TaskLoss::FusionLogMse,
+        max_batches_per_epoch: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let samples = batch_samples();
+    let prepared = prepare(&samples);
+    let cfg = one_epoch_cfg();
+
+    let mut group = c.benchmark_group("training_step");
+    group.bench_function("gnn_step", |b| {
+        let mut model = GnnModel::new(GnnConfig::default());
+        b.iter(|| black_box(train(&mut model, &prepared, &[], &cfg)))
+    });
+    group.bench_function("lstm_step", |b| {
+        let mut model = LstmModel::new(LstmConfig::default());
+        b.iter(|| black_box(train(&mut model, &prepared, &[], &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Ablation study over the design choices the paper tunes by
+//! hyperparameter search (§4.1–4.2): GraphSAGE hop count, neighborhood
+//! reduction, kernel-pooling combination, and the rank-loss φ; plus the
+//! GNN-vs-LSTM representation comparison at equal budget.
+//!
+//! ```text
+//! cargo run -p tpu-bench --release --bin ablations [-- --quick]
+//! ```
+
+use tpu_autotuner::{hill_climb, random_search, simulated_annealing, SaConfig};
+use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, tile_samples, Scale};
+use tpu_fusion::apply_fusion;
+use tpu_sim::TpuConfig;
+use tpu_dataset::{build_fusion_dataset, build_tile_dataset};
+use tpu_learned_cost::{
+    prepare, train, GnnConfig, GnnModel, LstmModel, PoolCombo, Reduction, TaskLoss, TrainConfig,
+};
+use tpu_nn::RankPhi;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablations (scale: {scale:?})");
+    let corpus = corpus(scale);
+    let split = corpus.random_split(0);
+
+    // --- Fusion-task ablations (metric: val MAPE, lower is better) ---
+    let fusion = build_fusion_dataset(&corpus, &scale.fusion_cfg());
+    let (train_ex, val_ex, _) = fusion.split(&split);
+    let (train_cap, val_cap) = match scale {
+        Scale::Quick => (600, 250),
+        Scale::Full => (8_000, 1_500),
+    };
+    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
+    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+    let tcfg = TrainConfig {
+        epochs: scale.train_cfg().epochs.min(15),
+        ..scale.train_cfg()
+    };
+
+    let mut rows = Vec::new();
+    // Hop count (k of Eq. 1). k = 0 degenerates to a DeepSets-style model.
+    for hops in [0usize, 1, 2, 3] {
+        let mut m = GnnModel::new(GnnConfig {
+            hops,
+            ..scale.gnn_cfg()
+        });
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        rows.push(vec![format!("hops={hops}"), format!("{:.1}", rep.best_val)]);
+    }
+    // Neighborhood reduction.
+    for red in [Reduction::Sum, Reduction::Mean, Reduction::Max] {
+        let mut m = GnnModel::new(GnnConfig {
+            reduction: red,
+            ..scale.gnn_cfg()
+        });
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        rows.push(vec![format!("reduction={red:?}"), format!("{:.1}", rep.best_val)]);
+    }
+    // Pooling combination.
+    for (label, pool) in [
+        ("pool=sum", PoolCombo { sum: true, mean: false, max: false }),
+        ("pool=mean", PoolCombo { sum: false, mean: true, max: false }),
+        ("pool=max", PoolCombo { sum: false, mean: false, max: true }),
+        ("pool=all", PoolCombo::all()),
+    ] {
+        let mut m = GnnModel::new(GnnConfig {
+            pooling: pool,
+            ..scale.gnn_cfg()
+        });
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        rows.push(vec![label.to_string(), format!("{:.1}", rep.best_val)]);
+    }
+    // Message-passing architecture: GraphSAGE vs a GCN-style mean-field.
+    {
+        let mut m = GnnModel::new(GnnConfig {
+            arch: tpu_learned_cost::GnnArch::GcnMean,
+            ..scale.gnn_cfg()
+        });
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        rows.push(vec!["arch=gcn-mean".into(), format!("{:.1}", rep.best_val)]);
+    }
+    // Representation: GNN vs LSTM at the same budget.
+    {
+        let mut m = LstmModel::new(scale.lstm_cfg());
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        rows.push(vec!["model=lstm".into(), format!("{:.1}", rep.best_val)]);
+    }
+    print_table(
+        "Fusion-task ablations (validation MAPE %, lower is better)",
+        &["Variant", "Val MAPE"],
+        &rows,
+    );
+
+    // --- Tile-task ablation: phi of the rank loss (Eq. 2) ---
+    let tile = build_tile_dataset(&corpus, &scale.tile_cfg());
+    let (ttrain, tval, _) = tile.split(&split);
+    let ttrain_prep = cap_prepared(prepare(&tile_samples(&ttrain)), train_cap, 3);
+    let tval_prep = cap_prepared(prepare(&tile_samples(&tval)), val_cap, 4);
+    let mut rows = Vec::new();
+    for (label, loss) in [
+        ("phi=hinge", TaskLoss::TileRank(RankPhi::Hinge)),
+        ("phi=logistic", TaskLoss::TileRank(RankPhi::Logistic)),
+        ("loss=weighted-mse", TaskLoss::TileMse),
+    ] {
+        let mut m = GnnModel::new(scale.gnn_cfg());
+        let cfg = TrainConfig { loss, ..tcfg.clone() };
+        let rep = train(&mut m, &ttrain_prep, &tval_prep, &cfg);
+        rows.push(vec![label.to_string(), format!("{:.3}", rep.best_val)]);
+    }
+    print_table(
+        "Tile-task ablations (validation mean per-kernel tau, higher is better)",
+        &["Variant", "Val tau"],
+        &rows,
+    );
+
+    // --- Search-strategy ablation: SA vs hill climbing vs random search
+    // under an identical evaluation budget with the oracle objective.
+    let machine = TpuConfig::default();
+    let steps = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 2_000,
+    };
+    let mut rows = Vec::new();
+    for name in ["WaveRNN", "NMT Model", "Transformer", "ResNet v1"] {
+        let Some(pi) = corpus.index_of(name) else { continue };
+        let program = &corpus.entries[pi].program;
+        if program.num_nodes() > tpu_dataset::FUSION_NODE_LIMIT {
+            continue;
+        }
+        let (space, default_cfg) = tpu_fusion::default_space_and_config(&program.computation);
+        let objective = |cfg: &tpu_fusion::FusionConfig| -> f64 {
+            apply_fusion(program, &space, cfg)
+                .kernels
+                .iter()
+                .map(|k| tpu_sim::kernel_time_ns(k, &machine))
+                .sum()
+        };
+        let base = objective(&default_cfg);
+        let sa = simulated_annealing(
+            &space,
+            default_cfg.clone(),
+            objective,
+            &SaConfig { steps, seed: 3, ..Default::default() },
+        );
+        let hc = hill_climb(&space, default_cfg.clone(), objective, steps, 3);
+        let rs = random_search(&space, default_cfg.clone(), objective, steps, 3);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}x", base / sa.best_cost),
+            format!("{:.3}x", base / hc.best_cost),
+            format!("{:.3}x", base / rs.best_cost),
+        ]);
+    }
+    print_table(
+        "Search-strategy ablation (speedup over default at equal budget)",
+        &["Program", "Simulated annealing", "Hill climbing", "Random search"],
+        &rows,
+    );
+}

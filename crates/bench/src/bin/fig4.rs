@@ -1,0 +1,216 @@
+//! Regenerates **Figure 4**: runtime speedup found by autotuning with and
+//! without the learned performance model, over the default heuristic
+//! configuration, starting from (a) the default config and (b) a random
+//! config.
+//!
+//! Protocol (§6.3): the baseline autotuner evaluates configs on hardware
+//! only, within a 5-minute device budget. The model-guided autotuner runs
+//! simulated annealing against the learned model on the CPU, then measures
+//! its top-ranked configs on hardware within the same budget. "Best known"
+//! is a 4-hour hardware-only run. Each program is autotuned several times
+//! and the best speedup is reported.
+//!
+//! ```text
+//! cargo run -p tpu-bench --release --bin fig4 [-- default|random] [-- --quick]
+//! ```
+
+use rayon::prelude::*;
+use tpu_autotuner::{
+    autotune_hardware_only, autotune_with_model, Budgets, StartMode, TunedConfig,
+};
+use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, Scale};
+use tpu_dataset::build_fusion_dataset;
+use tpu_fusion::{apply_fusion, default_space_and_config};
+use tpu_hlo::Program;
+use tpu_learned_cost::{prepare, train, GnnModel};
+use tpu_sim::{TpuConfig, TpuDevice};
+
+/// Programs autotuned in Figure 4: "a set of programs that gain
+/// significant speedup from autotuning according to our prior data",
+/// including some training-set programs (Transformer, Char2Feats,
+/// ResNet-parallel).
+const FIG4_PROGRAMS: [&str; 8] = [
+    "ResNet v1",
+    "ResNet v2",
+    "Translate",
+    "Transformer",
+    "Char2Feats",
+    "ResNet-parallel",
+    "WaveRNN",
+    "NMT Model",
+];
+
+struct ProgramRow {
+    name: String,
+    hw_only: f64,
+    with_model: f64,
+    best_known: f64,
+}
+
+fn best_speedup(program: &Program, device: &TpuDevice, runs: &[TunedConfig]) -> f64 {
+    let (space, default_cfg) = default_space_and_config(&program.computation);
+    let default_ns = device.true_program_time(&apply_fusion(program, &space, &default_cfg));
+    runs.iter()
+        .map(|t| default_ns / t.true_ns)
+        .fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mode = if std::env::args().any(|a| a == "random") {
+        StartMode::Random
+    } else {
+        StartMode::Default
+    };
+    println!("Figure 4{} reproduction (scale: {scale:?}, start: {mode:?})",
+        if mode == StartMode::Random { "b" } else { "a" });
+
+    let machine = TpuConfig::default();
+    let corpus = corpus(scale);
+
+    // Train the learned model on the fusion dataset (the "best learned
+    // performance model from Section 6.1").
+    let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
+    let split = corpus.random_split(0);
+    let (train_ex, val_ex, _) = dataset.split(&split);
+    let (train_cap, val_cap) = match scale {
+        Scale::Quick => (800, 250),
+        Scale::Full => (12_000, 2_000),
+    };
+    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
+    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+    let mut gnn = GnnModel::new(scale.gnn_cfg());
+    let t0 = std::time::Instant::now();
+    let rep = train(&mut gnn, &train_prep, &val_prep, &scale.train_cfg());
+    println!(
+        "learned model trained: best val MAPE {:.1}% [{:?}]",
+        rep.best_val,
+        t0.elapsed()
+    );
+
+    let (reps, budgets) = match scale {
+        Scale::Quick => (
+            3usize,
+            Budgets {
+                hardware_ns: 60e9,
+                model_steps: 500,
+                best_known_ns: 600e9,
+                top_k: 10,
+            },
+        ),
+        Scale::Full => (
+            10usize,
+            Budgets {
+                hardware_ns: 300e9,
+                model_steps: 2_500,
+                best_known_ns: 7_200e9,
+                top_k: 16,
+            },
+        ),
+    };
+
+    let targets: Vec<usize> = FIG4_PROGRAMS
+        .iter()
+        .filter_map(|n| corpus.index_of(n))
+        .filter(|&i| corpus.entries[i].program.num_nodes() <= tpu_dataset::FUSION_NODE_LIMIT)
+        .collect();
+
+    let rows: Vec<ProgramRow> = targets
+        .par_iter()
+        .map(|&pi| {
+            let program = &corpus.entries[pi].program;
+            let device = TpuDevice::with_config(machine.clone(), 1000 + pi as u64);
+
+            // Best known: one long hardware-only run.
+            let best_known_run = autotune_hardware_only(
+                program,
+                &device,
+                StartMode::Default,
+                budgets.best_known_ns,
+                999,
+            );
+
+            let mut hw_runs = Vec::new();
+            let mut model_runs = Vec::new();
+            for rep_i in 0..reps {
+                let seed = rep_i as u64;
+                hw_runs.push(autotune_hardware_only(
+                    program,
+                    &device,
+                    mode,
+                    budgets.hardware_ns,
+                    seed,
+                ));
+                model_runs.push(autotune_with_model(
+                    program,
+                    &device,
+                    |k| {
+                        use tpu_learned_cost::CostModel;
+                        gnn.predict_kernel_ns(k).unwrap_or(f64::INFINITY)
+                    },
+                    mode,
+                    &budgets,
+                    seed,
+                ));
+            }
+            ProgramRow {
+                name: program.name.clone(),
+                hw_only: best_speedup(program, &device, &hw_runs),
+                with_model: best_speedup(program, &device, &model_runs),
+                best_known: best_speedup(program, &device, &[best_known_run]),
+            }
+        })
+        .collect();
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}x", r.hw_only),
+                format!("{:.3}x", r.with_model),
+                format!("{:.3}x", r.best_known),
+            ]
+        })
+        .collect();
+    let mut all = table_rows;
+    let mean = |f: fn(&ProgramRow) -> f64| -> f64 {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let (m_hw, m_model, m_best) = (
+        mean(|r| r.hw_only),
+        mean(|r| r.with_model),
+        mean(|r| r.best_known),
+    );
+    all.push(vec![
+        "Mean".into(),
+        format!("{m_hw:.3}x"),
+        format!("{m_model:.3}x"),
+        format!("{m_best:.3}x"),
+    ]);
+    let title = match mode {
+        StartMode::Default => "Figure 4a: autotuning from the default configuration",
+        StartMode::Random => "Figure 4b: autotuning from a random configuration",
+    };
+    print_table(
+        title,
+        &["Program", "Hardware only", "Hardware + learned model", "Best known (long run)"],
+        &all,
+    );
+
+    println!("\nPaper: (a) model-assisted configs average ~2% faster than hardware-only and");
+    println!("~1% below best-known; (b) from a random start the model advantage grows to ~8%.");
+    println!("\nShape checks:");
+    println!(
+        "  model >= hardware-only on average: {:.3} vs {:.3} ({})",
+        m_model,
+        m_hw,
+        if m_model >= m_hw - 0.005 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  best-known >= model: {:.3} vs {:.3} ({})",
+        m_best,
+        m_model,
+        if m_best >= m_model - 0.01 { "OK" } else { "MISS" }
+    );
+}

@@ -1,0 +1,151 @@
+//! Retargeting experiment (beyond the paper's tables; motivated by its
+//! conclusion): when the hardware changes — here TPU-v2-like → TPU-v3-like
+//! — the learned model adapts by *retraining on new measurements*, while
+//! the hand-written analytical model, whose constants encode the old
+//! machine, silently degrades. "While the learned cost model is less
+//! accurate, it requires much less effort to develop."
+//!
+//! ```text
+//! cargo run -p tpu-bench --release --bin retarget [-- --quick]
+//! ```
+
+use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, CalibratedAnalytical, Scale};
+use tpu_dataset::{build_fusion_dataset, FusionDatasetConfig};
+use tpu_learned_cost::metrics::{mape, median};
+use tpu_learned_cost::{predict_log_ns, prepare, train, GnnModel};
+use tpu_sim::TpuConfig;
+
+struct TargetResult {
+    learned_mape: f64,
+    analytical_mape: f64,
+    stale_analytical_mape: f64,
+}
+
+fn run_target(
+    scale: Scale,
+    corpus: &tpu_dataset::Corpus,
+    machine: &TpuConfig,
+    stale_machine: &TpuConfig,
+) -> TargetResult {
+    let mut cfg = scale.fusion_cfg();
+    cfg.machine = machine.clone();
+    let dataset = build_fusion_dataset(corpus, &cfg);
+    let split = corpus.random_split(0);
+    let (train_ex, val_ex, test_ex) = dataset.split(&split);
+
+    let (train_cap, val_cap) = match scale {
+        Scale::Quick => (700, 250),
+        Scale::Full => (10_000, 1_500),
+    };
+    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
+    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+
+    // Retrain the learned model on the new machine's measurements — the
+    // only "porting" work it needs.
+    let mut gnn = GnnModel::new(scale.gnn_cfg());
+    train(&mut gnn, &train_prep, &val_prep, &scale.train_cfg());
+
+    // The analytical model properly re-tuned for the machine, and a stale
+    // one still carrying the previous machine's constants.
+    let fresh = analytical_for(corpus, &split.test, machine, &cfg);
+    let stale = analytical_for(corpus, &split.test, stale_machine, &cfg);
+
+    let mut learned_mapes = Vec::new();
+    let mut fresh_mapes = Vec::new();
+    let mut stale_mapes = Vec::new();
+    for &pi in &split.test {
+        let exs: Vec<&tpu_dataset::KernelExample> = test_ex
+            .iter()
+            .copied()
+            .filter(|e| e.program_idx == pi && e.runtime_ns >= 5_000.0)
+            .collect();
+        if exs.len() < 2 {
+            continue;
+        }
+        let targets: Vec<f64> = exs.iter().map(|e| e.runtime_ns).collect();
+        let prepared = prepare(&fusion_samples(&exs));
+        let learned: Vec<f64> = predict_log_ns(&gnn, &prepared)
+            .into_iter()
+            .map(f64::exp)
+            .collect();
+        learned_mapes.push(mape(&learned, &targets));
+
+        let mut f_pred = Vec::new();
+        let mut s_pred = Vec::new();
+        let mut t_kept = Vec::new();
+        for (ex, &t) in exs.iter().zip(&targets) {
+            if let (Some(f), Some(s)) = (fresh.predict_ns(&ex.kernel), stale.predict_ns(&ex.kernel))
+            {
+                f_pred.push(f);
+                s_pred.push(s);
+                t_kept.push(t);
+            }
+        }
+        if t_kept.len() >= 2 {
+            fresh_mapes.push(mape(&f_pred, &t_kept));
+            stale_mapes.push(mape(&s_pred, &t_kept));
+        }
+    }
+
+    TargetResult {
+        learned_mape: median(&learned_mapes),
+        analytical_mape: median(&fresh_mapes),
+        stale_analytical_mape: median(&stale_mapes),
+    }
+}
+
+/// Analytical model whose *internal constants* come from `model_machine`
+/// but whose calibration coefficients are fit against the real target
+/// hardware (calibration is cheap; re-deriving the model is not).
+fn analytical_for(
+    corpus: &tpu_dataset::Corpus,
+    test_programs: &[usize],
+    model_machine: &TpuConfig,
+    data_cfg: &FusionDatasetConfig,
+) -> CalibratedAnalytical {
+    let _ = data_cfg;
+    CalibratedAnalytical::fit_with_machines(corpus, test_programs, model_machine, &data_cfg.machine)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Retargeting experiment (scale: {scale:?})");
+    let corpus = corpus(scale);
+    let v2 = TpuConfig::default();
+    let v3 = TpuConfig::v3_like();
+
+    println!("\ntarget = TPU-v2-like (both models built for it):");
+    let on_v2 = run_target(scale, &corpus, &v2, &v2);
+    println!("\ntarget = TPU-v3-like (learned retrains; stale analytical keeps v2 constants):");
+    let on_v3 = run_target(scale, &corpus, &v3, &v2);
+
+    print_table(
+        "Retargeting: median test MAPE (>=5us kernels)",
+        &["Target", "Learned (retrained)", "Analytical (re-tuned)", "Analytical (stale)"],
+        &[
+            vec![
+                "TPU-v2-like".into(),
+                format!("{:.1}", on_v2.learned_mape),
+                format!("{:.1}", on_v2.analytical_mape),
+                format!("{:.1}", on_v2.stale_analytical_mape),
+            ],
+            vec![
+                "TPU-v3-like".into(),
+                format!("{:.1}", on_v3.learned_mape),
+                format!("{:.1}", on_v3.analytical_mape),
+                format!("{:.1}", on_v3.stale_analytical_mape),
+            ],
+        ],
+    );
+    println!("\nShape check: on the new target, the retrained learned model should beat the");
+    println!(
+        "stale analytical model: {:.1} vs {:.1} ({})",
+        on_v3.learned_mape,
+        on_v3.stale_analytical_mape,
+        if on_v3.learned_mape <= on_v3.stale_analytical_mape {
+            "OK"
+        } else {
+            "MISS"
+        }
+    );
+}

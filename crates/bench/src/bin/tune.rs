@@ -1,0 +1,173 @@
+//! Hyperparameter sweep for the fusion task (the paper's "we did a
+//! hyperparameter search and selected the best-performing models on the
+//! validation split", §6): trains GNN variants and the LSTM baseline on
+//! the random split and reports validation + test-program medians.
+//!
+//! ```text
+//! cargo run -p tpu-bench --release --bin tune [-- --quick]
+//! ```
+
+use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, Scale};
+use tpu_dataset::build_fusion_dataset;
+use tpu_learned_cost::metrics::{kendall_tau, mape, median};
+use tpu_learned_cost::{
+    predict_log_ns, prepare, train, GnnConfig, GnnModel, KernelModel, LstmModel, Prepared,
+    Reduction, TaskLoss, TrainConfig,
+};
+
+fn test_medians<M: KernelModel>(
+    model: &M,
+    by_program: &[(String, Vec<Prepared>, Vec<f64>)],
+) -> (f64, f64) {
+    let mut mapes = Vec::new();
+    let mut taus = Vec::new();
+    for (_, prepared, targets) in by_program {
+        let preds: Vec<f64> = predict_log_ns(model, prepared)
+            .into_iter()
+            .map(f64::exp)
+            .collect();
+        // >=5us kernels only, like Table 2's headline rows.
+        let idx: Vec<usize> = (0..targets.len())
+            .filter(|&i| targets[i] >= 5_000.0)
+            .collect();
+        if idx.len() < 2 {
+            continue;
+        }
+        let p: Vec<f64> = idx.iter().map(|&i| preds[i]).collect();
+        let t: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
+        mapes.push(mape(&p, &t));
+        taus.push(kendall_tau(&p, &t));
+    }
+    (median(&mapes), median(&taus))
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fusion-task hyperparameter sweep (scale: {scale:?})");
+    let corpus = corpus(scale);
+    let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
+    let split = corpus.random_split(0);
+    let (train_ex, val_ex, test_ex) = dataset.split(&split);
+
+    let (train_cap, val_cap) = match scale {
+        Scale::Quick => (800, 300),
+        Scale::Full => (14_000, 2_500),
+    };
+    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
+    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+
+    // Per-test-program prepared sets.
+    let mut by_program = Vec::new();
+    for &pi in &split.test {
+        let exs: Vec<&tpu_dataset::KernelExample> = test_ex
+            .iter()
+            .copied()
+            .filter(|e| e.program_idx == pi)
+            .collect();
+        if exs.len() < 2 {
+            continue;
+        }
+        let targets: Vec<f64> = exs.iter().map(|e| e.runtime_ns).collect();
+        by_program.push((
+            corpus.entries[pi].program.name.clone(),
+            prepare(&fusion_samples(&exs)),
+            targets,
+        ));
+    }
+
+    let epochs = match scale {
+        Scale::Quick => 10,
+        Scale::Full => 40,
+    };
+    let tcfg = TrainConfig {
+        epochs,
+        batch_size: 24,
+        lr: 2e-3,
+        loss: TaskLoss::FusionLogMse,
+        max_batches_per_epoch: 600,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    let variants: Vec<(String, GnnConfig)> = vec![
+        ("gnn h48 k2 sum".into(), GnnConfig::default()),
+        (
+            "gnn h64 k2 sum".into(),
+            GnnConfig {
+                hidden: 64,
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn h64 k3 sum".into(),
+            GnnConfig {
+                hidden: 64,
+                hops: 3,
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn h96 k2 sum".into(),
+            GnnConfig {
+                hidden: 96,
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn h64 k2 max".into(),
+            GnnConfig {
+                hidden: 64,
+                reduction: Reduction::Max,
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn h64 k2 mean".into(),
+            GnnConfig {
+                hidden: 64,
+                reduction: Reduction::Mean,
+                ..Default::default()
+            },
+        ),
+        (
+            "gnn h64 k1 sum".into(),
+            GnnConfig {
+                hidden: 64,
+                hops: 1,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, gcfg) in variants {
+        let t0 = std::time::Instant::now();
+        let mut m = GnnModel::new(gcfg);
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        let (test_mape, test_tau) = test_medians(&m, &by_program);
+        println!("{name}: done in {:?}", t0.elapsed());
+        rows.push(vec![
+            name,
+            format!("{:.1}", rep.best_val),
+            format!("{test_mape:.1}"),
+            format!("{test_tau:.2}"),
+        ]);
+    }
+    {
+        let t0 = std::time::Instant::now();
+        let mut m = LstmModel::new(scale.lstm_cfg());
+        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        let (test_mape, test_tau) = test_medians(&m, &by_program);
+        println!("lstm h48: done in {:?}", t0.elapsed());
+        rows.push(vec![
+            "lstm h48".into(),
+            format!("{:.1}", rep.best_val),
+            format!("{test_mape:.1}"),
+            format!("{test_tau:.2}"),
+        ]);
+    }
+
+    print_table(
+        "Sweep results (random split; test = >=5us kernels)",
+        &["Variant", "Val MAPE", "Test median MAPE", "Test median tau"],
+        &rows,
+    );
+}

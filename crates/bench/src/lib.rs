@@ -1,0 +1,322 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper, plus helpers used by the Criterion benches.
+//!
+//! Binaries (run with `--release`):
+//!
+//! - `table1` — dataset statistics (Table 1),
+//! - `table2` — fusion-task accuracy: MAPE and Kendall's τ per test
+//!   program for Our Model / LSTM / Analytical (Table 2 + the in-text
+//!   <5 µs and manual-split numbers),
+//! - `table3` — tile-size task: mean per-kernel Kendall's τ for rank-loss
+//!   and MSE variants vs. the analytical model (Table 3),
+//! - `fig4 [default|random]` — autotuner speedups with and without the
+//!   learned model (Figure 4a/4b),
+//! - `ablations` — hop count / reduction / pooling / φ ablations.
+//!
+//! Every binary accepts `--quick` for a reduced-scale smoke run.
+
+use std::collections::HashMap;
+use tpu_analytical::{AnalyticalModel, Calibration};
+use tpu_dataset::{Corpus, CorpusScale, FusionDatasetConfig, TileDatasetConfig};
+use tpu_hlo::Kernel;
+use tpu_learned_cost::{GnnConfig, LstmConfig, Prepared, Sample, TrainConfig};
+use tpu_sim::TpuConfig;
+
+/// Experiment scale, selected by the `--quick` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpus, short training: finishes in seconds to a minute.
+    Quick,
+    /// The full 104-program corpus and longer training.
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Corpus scale for this experiment scale.
+    pub fn corpus(self) -> CorpusScale {
+        match self {
+            Scale::Quick => CorpusScale::Tiny,
+            Scale::Full => CorpusScale::Full,
+        }
+    }
+
+    /// Fusion-dataset pipeline parameters.
+    pub fn fusion_cfg(self) -> FusionDatasetConfig {
+        match self {
+            Scale::Quick => FusionDatasetConfig {
+                configs_per_program: 8,
+                ..Default::default()
+            },
+            Scale::Full => FusionDatasetConfig {
+                configs_per_program: 40,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Tile-dataset pipeline parameters.
+    pub fn tile_cfg(self) -> TileDatasetConfig {
+        match self {
+            Scale::Quick => TileDatasetConfig {
+                max_tiles_per_kernel: 8,
+                ..Default::default()
+            },
+            Scale::Full => TileDatasetConfig {
+                max_tiles_per_kernel: 40,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Model hyperparameters.
+    pub fn gnn_cfg(self) -> GnnConfig {
+        match self {
+            Scale::Quick => GnnConfig {
+                hidden: 24,
+                opcode_embed_dim: 8,
+                hops: 1,
+                ..Default::default()
+            },
+            // The sweep's winner (see the `tune` binary): hidden 64,
+            // 2 hops, sum reduction, all three pools.
+            Scale::Full => GnnConfig {
+                hidden: 64,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// LSTM baseline hyperparameters.
+    pub fn lstm_cfg(self) -> LstmConfig {
+        match self {
+            Scale::Quick => LstmConfig {
+                node_dim: 24,
+                hidden: 24,
+                opcode_embed_dim: 8,
+                ..Default::default()
+            },
+            Scale::Full => LstmConfig::default(),
+        }
+    }
+
+    /// Training parameters.
+    pub fn train_cfg(self) -> TrainConfig {
+        match self {
+            Scale::Quick => TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                lr: 3e-3,
+                max_batches_per_epoch: 60,
+                ..Default::default()
+            },
+            Scale::Full => TrainConfig {
+                epochs: 40,
+                batch_size: 24,
+                lr: 2e-3,
+                max_batches_per_epoch: 600,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Build the corpus for a scale.
+pub fn corpus(scale: Scale) -> Corpus {
+    Corpus::build(scale.corpus())
+}
+
+/// A calibrated analytical model bundled as a kernel-cost closure.
+pub struct CalibratedAnalytical {
+    model: AnalyticalModel,
+    calibration: Calibration,
+}
+
+impl CalibratedAnalytical {
+    /// Calibrate per-kind coefficients "by executing each program in the
+    /// test set … with a default fusion configuration" (§6.1).
+    pub fn fit(corpus: &Corpus, test_programs: &[usize], machine: &TpuConfig) -> Self {
+        let model = AnalyticalModel::new(machine.clone());
+        let device = tpu_sim::TpuDevice::with_config(machine.clone(), 99);
+        let fused: Vec<tpu_hlo::FusedProgram> = test_programs
+            .iter()
+            .map(|&i| {
+                let p = &corpus.entries[i].program;
+                let (space, cfg) = tpu_fusion::default_space_and_config(&p.computation);
+                tpu_fusion::apply_fusion(p, &space, &cfg)
+            })
+            .collect();
+        let calibration = Calibration::fit(&model, &fused, &device);
+        CalibratedAnalytical { model, calibration }
+    }
+
+    /// Calibrate with distinct machines: the model's *internal constants*
+    /// come from `model_machine` (possibly stale), while the calibration
+    /// coefficients are fit against measurements on `real_machine`. Used
+    /// by the retargeting experiment.
+    pub fn fit_with_machines(
+        corpus: &Corpus,
+        test_programs: &[usize],
+        model_machine: &TpuConfig,
+        real_machine: &TpuConfig,
+    ) -> Self {
+        let model = AnalyticalModel::new(model_machine.clone());
+        let device = tpu_sim::TpuDevice::with_config(real_machine.clone(), 99);
+        let fused: Vec<tpu_hlo::FusedProgram> = test_programs
+            .iter()
+            .map(|&i| {
+                let p = &corpus.entries[i].program;
+                let (space, cfg) = tpu_fusion::default_space_and_config(&p.computation);
+                tpu_fusion::apply_fusion(p, &space, &cfg)
+            })
+            .collect();
+        let calibration = Calibration::fit(&model, &fused, &device);
+        CalibratedAnalytical { model, calibration }
+    }
+
+    /// Uncalibrated (identity coefficients) — for within-kernel ranking
+    /// tasks where scales cancel (§6.2).
+    pub fn identity(machine: &TpuConfig) -> Self {
+        CalibratedAnalytical {
+            model: AnalyticalModel::new(machine.clone()),
+            calibration: Calibration::identity(),
+        }
+    }
+
+    /// Predicted runtime in ns, or `None` for unsupported kernels.
+    pub fn predict_ns(&self, k: &Kernel) -> Option<f64> {
+        self.calibration.predict_ns(&self.model, k)
+    }
+}
+
+/// Group items by program index for per-program metric rows.
+pub fn group_by_program<T>(
+    items: &[T],
+    program_of: impl Fn(&T) -> usize,
+) -> HashMap<usize, Vec<&T>> {
+    let mut map: HashMap<usize, Vec<&T>> = HashMap::new();
+    for it in items {
+        map.entry(program_of(it)).or_default().push(it);
+    }
+    map
+}
+
+/// Render an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Convert fusion-dataset example refs into training samples.
+pub fn fusion_samples(examples: &[&tpu_dataset::KernelExample]) -> Vec<Sample> {
+    examples
+        .iter()
+        .map(|ex| Sample::new(ex.kernel.clone(), ex.runtime_ns))
+        .collect()
+}
+
+/// Convert tile-dataset example refs into grouped training samples.
+pub fn tile_samples(examples: &[&tpu_dataset::TileExample]) -> Vec<Sample> {
+    examples
+        .iter()
+        .map(|ex| Sample::grouped(ex.kernel.clone(), ex.runtime_ns, ex.kernel_group))
+        .collect()
+}
+
+/// Subsample a prepared set to at most `cap` items, deterministically.
+pub fn cap_prepared(mut prepared: Vec<Prepared>, cap: usize, seed: u64) -> Vec<Prepared> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    if prepared.len() > cap {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        prepared.shuffle(&mut rng);
+        prepared.truncate(cap);
+    }
+    prepared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_pipeline_end_to_end() {
+        let scale = Scale::Quick;
+        let c = corpus(scale);
+        assert!(c.len() >= 10);
+        let split = c.random_split(0);
+        let analytical = CalibratedAnalytical::fit(&c, &split.test, &TpuConfig::default());
+        // Score one real program's kernels.
+        let p = &c.entries[split.test[0]].program;
+        let (space, cfg) = tpu_fusion::default_space_and_config(&p.computation);
+        let fused = tpu_fusion::apply_fusion(p, &space, &cfg);
+        let scored = fused
+            .kernels
+            .iter()
+            .filter_map(|k| analytical.predict_ns(k))
+            .count();
+        assert!(scored > 0, "analytical model scored no kernels");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn cap_prepared_caps() {
+        let c = corpus(Scale::Quick);
+        let ds = tpu_dataset::build_fusion_dataset(
+            &Corpus {
+                entries: c.entries[..2].to_vec(),
+            },
+            &FusionDatasetConfig {
+                configs_per_program: 4,
+                ..Default::default()
+            },
+        );
+        let refs: Vec<&tpu_dataset::KernelExample> = ds.examples.iter().collect();
+        let samples = fusion_samples(&refs);
+        let prepared = tpu_learned_cost::prepare(&samples);
+        let capped = cap_prepared(prepared, 5, 0);
+        assert_eq!(capped.len(), 5);
+    }
+}

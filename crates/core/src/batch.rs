@@ -1,0 +1,219 @@
+//! Dataset samples, pre-featurized kernels, and graph batching.
+
+use crate::features::{kernel_features, FEATURE_DIM};
+use tpu_hlo::Kernel;
+use tpu_nn::Tensor;
+
+/// One dataset example: a kernel and its measured runtime.
+///
+/// `group` identifies which kernel a tile-size sample belongs to, so the
+/// rank loss can be restricted to within-kernel pairs (§4.2: "grouping
+/// samples of different tile sizes of the same kernel into the same
+/// batch"). For the fusion task every sample is its own group.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The kernel (with tile attached for tile-size samples).
+    pub kernel: Kernel,
+    /// Measured runtime in nanoseconds (min of 3 runs).
+    pub runtime_ns: f64,
+    /// Group id for within-kernel ranking.
+    pub group: usize,
+}
+
+impl Sample {
+    /// A fusion-task sample (its own group).
+    pub fn new(kernel: Kernel, runtime_ns: f64) -> Sample {
+        Sample {
+            kernel,
+            runtime_ns,
+            group: usize::MAX,
+        }
+    }
+
+    /// A tile-task sample belonging to kernel-group `group`.
+    pub fn grouped(kernel: Kernel, runtime_ns: f64, group: usize) -> Sample {
+        Sample {
+            kernel,
+            runtime_ns,
+            group,
+        }
+    }
+}
+
+/// A kernel pre-featurized for training: opcode ids, feature matrix, and
+/// directed edges. Featurization is done once, not per epoch.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Opcode embedding indices per node.
+    pub opcode_ids: Vec<usize>,
+    /// `N×FEATURE_DIM` feature matrix.
+    pub features: Tensor,
+    /// Directed edges (producer index, consumer index), deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// Target: runtime in ns.
+    pub runtime_ns: f64,
+    /// Group id (see [`Sample::group`]).
+    pub group: usize,
+}
+
+impl Prepared {
+    /// Featurize a sample.
+    pub fn from_sample(s: &Sample) -> Prepared {
+        let (opcode_ids, features) = kernel_features(&s.kernel);
+        let adj = s.kernel.computation.adjacency();
+        let edges = adj
+            .directed_edges()
+            .iter()
+            .map(|&(a, b)| (a.index(), b.index()))
+            .collect();
+        Prepared {
+            opcode_ids,
+            features,
+            edges,
+            runtime_ns: s.runtime_ns,
+            group: s.group,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.opcode_ids.len()
+    }
+}
+
+/// Several prepared kernels packed into one disjoint graph.
+#[derive(Debug, Clone)]
+pub struct GraphBatch {
+    /// Opcode ids for all nodes of all kernels.
+    pub opcode_ids: Vec<usize>,
+    /// `N_total × FEATURE_DIM` stacked features.
+    pub features: Tensor,
+    /// Directed edges with batch-global node indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Kernel (segment) id per node.
+    pub node_kernel: Vec<usize>,
+    /// Per-kernel node index lists in topological order (for the LSTM
+    /// baseline's sequences).
+    pub kernel_nodes: Vec<Vec<usize>>,
+    /// Per-kernel targets, ns.
+    pub targets_ns: Vec<f64>,
+    /// Per-kernel group ids.
+    pub groups: Vec<usize>,
+}
+
+impl GraphBatch {
+    /// Pack prepared kernels into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pack(items: &[&Prepared]) -> GraphBatch {
+        assert!(!items.is_empty(), "empty batch");
+        let total_nodes: usize = items.iter().map(|p| p.num_nodes()).sum();
+        let mut opcode_ids = Vec::with_capacity(total_nodes);
+        let mut data = Vec::with_capacity(total_nodes * FEATURE_DIM);
+        let mut edges = Vec::new();
+        let mut node_kernel = Vec::with_capacity(total_nodes);
+        let mut kernel_nodes = Vec::with_capacity(items.len());
+        let mut targets_ns = Vec::with_capacity(items.len());
+        let mut groups = Vec::with_capacity(items.len());
+
+        let mut offset = 0usize;
+        for (ki, p) in items.iter().enumerate() {
+            opcode_ids.extend_from_slice(&p.opcode_ids);
+            data.extend_from_slice(p.features.data());
+            for &(a, b) in &p.edges {
+                edges.push((a + offset, b + offset));
+            }
+            node_kernel.extend((0..p.num_nodes()).map(|_| ki));
+            kernel_nodes.push((offset..offset + p.num_nodes()).collect());
+            targets_ns.push(p.runtime_ns);
+            groups.push(p.group);
+            offset += p.num_nodes();
+        }
+
+        GraphBatch {
+            opcode_ids,
+            features: Tensor::from_vec(total_nodes, FEATURE_DIM, data),
+            edges,
+            node_kernel,
+            kernel_nodes,
+            targets_ns,
+            groups,
+        }
+    }
+
+    /// Number of kernels in the batch.
+    pub fn num_kernels(&self) -> usize {
+        self.targets_ns.len()
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.opcode_ids.len()
+    }
+
+    /// Log-transformed targets as an `[B×1]` tensor (§4.2's fusion-task
+    /// target transform).
+    pub fn log_targets(&self) -> Tensor {
+        Tensor::from_vec(
+            self.targets_ns.len(),
+            1,
+            self.targets_ns
+                .iter()
+                .map(|&t| (t.max(1.0)).ln() as f32)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    fn sample(cols: usize) -> Sample {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(8, cols), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        Sample::new(Kernel::new(b.finish(e)), 5_000.0)
+    }
+
+    #[test]
+    fn prepared_has_edges_and_features() {
+        let p = Prepared::from_sample(&sample(128));
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.edges.len(), 2);
+        assert_eq!(p.features.shape(), (3, FEATURE_DIM));
+    }
+
+    #[test]
+    fn pack_offsets_edges() {
+        let p1 = Prepared::from_sample(&sample(128));
+        let p2 = Prepared::from_sample(&sample(256));
+        let b = GraphBatch::pack(&[&p1, &p2]);
+        assert_eq!(b.num_nodes(), 6);
+        assert_eq!(b.num_kernels(), 2);
+        assert_eq!(b.edges.len(), 4);
+        // Second kernel's edges offset by 3.
+        assert!(b.edges.contains(&(3, 4)));
+        assert_eq!(b.node_kernel, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(b.kernel_nodes[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn log_targets_transform() {
+        let p = Prepared::from_sample(&sample(128));
+        let b = GraphBatch::pack(&[&p]);
+        let lt = b.log_targets();
+        assert!((lt.item() - 5000.0_f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grouped_sample_keeps_group() {
+        let s = Sample::grouped(sample(64).kernel, 100.0, 7);
+        let p = Prepared::from_sample(&s);
+        assert_eq!(p.group, 7);
+    }
+}

@@ -1,0 +1,134 @@
+//! Model bundles: architecture config + trained weights in one artifact,
+//! so a trained cost model can be shipped and reloaded without separately
+//! tracking its hyperparameters.
+
+use crate::lstm_model::{LstmConfig, LstmModel};
+use crate::model::{GnnConfig, GnnModel};
+use serde::{Deserialize, Serialize};
+use tpu_nn::ParamStore;
+
+#[derive(Serialize, Deserialize)]
+struct GnnBundle {
+    kind: String,
+    config: GnnConfig,
+    weights: ParamStore,
+}
+
+#[derive(Serialize, Deserialize)]
+struct LstmBundle {
+    kind: String,
+    config: LstmConfig,
+    weights: ParamStore,
+}
+
+/// Serialize a trained GNN with its architecture.
+pub fn save_gnn(model: &GnnModel) -> String {
+    serde_json::to_string(&GnnBundle {
+        kind: "gnn".into(),
+        config: model.config().clone(),
+        weights: model.store().clone(),
+    })
+    .expect("bundle serialize")
+}
+
+/// Restore a GNN from [`save_gnn`] output.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or a non-GNN bundle.
+pub fn load_gnn(json: &str) -> Result<GnnModel, String> {
+    let bundle: GnnBundle = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    if bundle.kind != "gnn" {
+        return Err(format!("expected a gnn bundle, got `{}`", bundle.kind));
+    }
+    let mut model = GnnModel::new(bundle.config);
+    if bundle.weights.num_params() != model.store().num_params() {
+        return Err("weights do not match architecture".into());
+    }
+    *model.store_mut() = bundle.weights;
+    Ok(model)
+}
+
+/// Serialize a trained LSTM baseline with its architecture.
+pub fn save_lstm(model: &LstmModel) -> String {
+    serde_json::to_string(&LstmBundle {
+        kind: "lstm".into(),
+        config: model.config().clone(),
+        weights: model.store().clone(),
+    })
+    .expect("bundle serialize")
+}
+
+/// Restore an LSTM from [`save_lstm`] output.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or a non-LSTM bundle.
+pub fn load_lstm(json: &str) -> Result<LstmModel, String> {
+    let bundle: LstmBundle = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    if bundle.kind != "lstm" {
+        return Err(format!("expected an lstm bundle, got `{}`", bundle.kind));
+    }
+    let mut model = LstmModel::new(bundle.config);
+    if bundle.weights.num_params() != model.store().num_params() {
+        return Err("weights do not match architecture".into());
+    }
+    *model.store_mut() = bundle.weights;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+
+    fn kernel() -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(128, 128), DType::F32);
+        let t = b.tanh(x);
+        Kernel::new(b.finish(t))
+    }
+
+    #[test]
+    fn gnn_bundle_roundtrip() {
+        let model = GnnModel::new(GnnConfig {
+            hidden: 20,
+            hops: 1,
+            ..Default::default()
+        });
+        let json = save_gnn(&model);
+        let restored = load_gnn(&json).unwrap();
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(
+            restored.predict_log_ns(&kernel()),
+            model.predict_log_ns(&kernel())
+        );
+    }
+
+    #[test]
+    fn lstm_bundle_roundtrip() {
+        let model = LstmModel::new(LstmConfig {
+            hidden: 20,
+            ..Default::default()
+        });
+        let json = save_lstm(&model);
+        let restored = load_lstm(&json).unwrap();
+        assert_eq!(
+            restored.predict_log_ns(&kernel()),
+            model.predict_log_ns(&kernel())
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_error() {
+        let g = GnnModel::new(GnnConfig::default());
+        let json = save_gnn(&g);
+        assert!(load_lstm(&json).is_err());
+    }
+
+    #[test]
+    fn garbage_is_error() {
+        assert!(load_gnn("{}").is_err());
+        assert!(load_gnn("nope").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! A common interface over every runtime predictor in this reproduction.
+
+use crate::lstm_model::LstmModel;
+use crate::model::GnnModel;
+use tpu_hlo::{FusedProgram, Kernel};
+
+/// Anything that can estimate a kernel's runtime in nanoseconds.
+///
+/// Backends: the learned GNN ([`GnnModel`]), the LSTM baseline
+/// ([`LstmModel`]), the analytical model (via an adapter closure in the
+/// experiment harness), or the simulator itself as an oracle.
+///
+/// Returning `None` means the backend cannot score this kernel — the
+/// analytical model's behaviour on kernels without tile-size options
+/// (paper footnote 3, §6.3: "it cannot estimate runtimes for kernels that
+/// do not have tile-size options").
+pub trait CostModel {
+    /// Estimated kernel runtime in ns, or `None` if unsupported.
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64>;
+
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Estimated whole-program runtime: the sum over kernels (§3.3), or
+    /// `None` if any kernel is unsupported.
+    fn predict_program_ns(&self, program: &FusedProgram) -> Option<f64> {
+        let mut total = 0.0;
+        for k in &program.kernels {
+            total += self.predict_kernel_ns(k)?;
+        }
+        Some(total)
+    }
+}
+
+impl CostModel for GnnModel {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        Some(self.predict_ns(kernel))
+    }
+    fn name(&self) -> &str {
+        "learned-gnn"
+    }
+}
+
+impl CostModel for LstmModel {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        Some(self.predict_ns(kernel))
+    }
+    fn name(&self) -> &str {
+        "lstm-baseline"
+    }
+}
+
+/// The simulator as an oracle cost model (useful for upper-bound
+/// comparisons and tests).
+#[derive(Debug, Clone)]
+pub struct SimOracle {
+    cfg: tpu_sim::TpuConfig,
+}
+
+impl SimOracle {
+    /// Oracle for a machine configuration.
+    pub fn new(cfg: tpu_sim::TpuConfig) -> SimOracle {
+        SimOracle { cfg }
+    }
+}
+
+impl CostModel for SimOracle {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        Some(tpu_sim::kernel_time_ns(kernel, &self.cfg))
+    }
+    fn name(&self) -> &str {
+        "simulator-oracle"
+    }
+}
+
+/// Wrap any closure as a [`CostModel`] (adapter for the analytical model
+/// without a crate dependency cycle).
+pub struct FnCostModel<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Kernel) -> Option<f64>> FnCostModel<F> {
+    /// Create a named closure-backed cost model.
+    pub fn new(name: impl Into<String>, f: F) -> FnCostModel<F> {
+        FnCostModel {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&Kernel) -> Option<f64>> CostModel for FnCostModel<F> {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        (self.f)(kernel)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    fn kernel() -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+        let t = b.tanh(x);
+        Kernel::new(b.finish(t))
+    }
+
+    #[test]
+    fn oracle_predicts_exact_sim_time() {
+        let cfg = tpu_sim::TpuConfig::default();
+        let oracle = SimOracle::new(cfg.clone());
+        let k = kernel();
+        assert_eq!(
+            oracle.predict_kernel_ns(&k),
+            Some(tpu_sim::kernel_time_ns(&k, &cfg))
+        );
+    }
+
+    #[test]
+    fn program_prediction_sums_kernels() {
+        let oracle = SimOracle::new(tpu_sim::TpuConfig::default());
+        let p = FusedProgram::new("p", vec![kernel(), kernel()]);
+        let total = oracle.predict_program_ns(&p).unwrap();
+        let single = oracle.predict_kernel_ns(&kernel()).unwrap();
+        assert!((total - 2.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fn_cost_model_propagates_none() {
+        let m = FnCostModel::new("nope", |_k: &Kernel| None);
+        assert_eq!(m.predict_kernel_ns(&kernel()), None);
+        let p = FusedProgram::new("p", vec![kernel()]);
+        assert_eq!(m.predict_program_ns(&p), None);
+        assert_eq!(m.name(), "nope");
+    }
+
+    #[test]
+    fn gnn_is_a_cost_model() {
+        let m = crate::model::GnnModel::new(crate::model::GnnConfig::default());
+        let pred = m.predict_kernel_ns(&kernel()).unwrap();
+        assert!(pred > 0.0, "exp(log-ns) must be positive");
+    }
+}

@@ -1,0 +1,56 @@
+//! The learned performance model for the TPU — the paper's primary
+//! contribution.
+//!
+//! This crate implements the neural network of §4 and its training and
+//! evaluation machinery:
+//!
+//! - [`features`]: node features extracted directly from the IR (§4.1) —
+//!   shapes, layouts, strides, convolution windows, and the tile-size
+//!   sub-vector of §4.2 — with no static analysis,
+//! - [`GnnModel`]: opcode embedding + feedforward f₁ + GraphSAGE hops
+//!   (Eq. 1, with L2 normalization and a tunable neighborhood reduction) +
+//!   sum/mean/max kernel pooling + linear head,
+//! - [`LstmModel`]: the sequential baseline of §6.1 over topologically
+//!   sorted nodes,
+//! - [`train`]: the fusion objective (squared error on log targets) and the
+//!   tile-size objective (pairwise rank loss, Eq. 2) with per-kernel batch
+//!   grouping, plus the hyperparameter grid search,
+//! - [`metrics`]: MAPE and Kendall's τ as reported in Tables 2–3,
+//! - [`CostModel`]: one interface over learned/analytical/simulator
+//!   backends, making the model retargetable across compiler tasks.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+//! use tpu_learned_cost::{CostModel, GnnConfig, GnnModel};
+//!
+//! let mut b = GraphBuilder::new("k");
+//! let x = b.parameter("x", Shape::matrix(512, 512), DType::F32);
+//! let t = b.tanh(x);
+//! let kernel = Kernel::new(b.finish(t));
+//!
+//! let model = GnnModel::new(GnnConfig::default());
+//! let ns = model.predict_kernel_ns(&kernel).unwrap();
+//! assert!(ns > 0.0);
+//! ```
+
+pub mod features;
+pub mod metrics;
+
+mod batch;
+mod bundle;
+mod cost_model;
+mod lstm_model;
+mod model;
+mod train;
+
+pub use batch::{GraphBatch, Prepared, Sample};
+pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm};
+pub use cost_model::{CostModel, FnCostModel, SimOracle};
+pub use lstm_model::{LstmConfig, LstmModel};
+pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
+pub use train::{
+    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, validation_metric,
+    HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
+};

@@ -1,0 +1,210 @@
+//! Evaluation metrics: MAPE and Kendall's τ (§6).
+
+/// Mean absolute percentage error between predictions and targets, in
+/// percent (as reported in Table 2).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `targets` contains zeros.
+pub fn mape(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len());
+    assert!(!predictions.is_empty(), "mape of nothing");
+    let sum: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| {
+            assert!(t != 0.0, "zero target");
+            ((p - t) / t).abs()
+        })
+        .sum();
+    100.0 * sum / predictions.len() as f64
+}
+
+/// Kendall rank correlation coefficient τ-b (tie-corrected), matching the
+/// "Kendall's τ" columns of Tables 2 and 3.
+///
+/// Returns 0 when either input is constant. O(n²); sample sizes per
+/// program/kernel are small.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            // τ-b counts ties per variable independently.
+            if da == 0.0 {
+                ties_a += 1;
+            }
+            if db == 0.0 {
+                ties_b += 1;
+            }
+            if da != 0.0 && db != 0.0 {
+                if (da > 0.0) == (db > 0.0) {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Median of a slice (returns NaN for empty input).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Arithmetic mean (NaN for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Spearman rank correlation (Pearson over ranks, average ranks for ties).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        assert_eq!(mape(&[110.0], &[100.0]), 10.0);
+        assert_eq!(mape(&[90.0, 110.0], &[100.0, 100.0]), 10.0);
+        assert_eq!(mape(&[100.0], &[100.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_perfect() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_independent_is_small() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 4.0, 3.0];
+        let tau = kendall_tau(&a, &b);
+        assert!(tau.abs() < 0.5);
+    }
+
+    #[test]
+    fn kendall_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        let tau = kendall_tau(&a, &b);
+        assert!((tau - 1.0).abs() < 1e-12, "tau={tau}");
+        // Constant input: defined as 0.
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        // Classic example: one discordant pair out of six.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn spearman_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 4.0, 9.0, 16.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+}

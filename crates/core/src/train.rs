@@ -1,0 +1,585 @@
+//! Training loops for the two tasks (§4.2) and the hyperparameter search
+//! (§6: "for all the learned models, we did a hyperparameter search and
+//! selected the best-performing models on the validation split").
+
+use crate::batch::{GraphBatch, Prepared, Sample};
+use crate::lstm_model::LstmModel;
+use crate::metrics::{kendall_tau, mape, mean};
+use crate::model::GnnModel;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::rc::Rc;
+use tpu_nn::{
+    clip_grad_norm, grouped_pairwise_rank_loss, mse_loss, Adam, Optimizer, ParamStore, RankPhi,
+    Tape, Tensor, Var,
+};
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskLoss {
+    /// Fusion task: squared error on log-transformed targets (§4.2).
+    FusionLogMse,
+    /// Tile-size task: pairwise rank loss within kernel groups (Eq. 2).
+    TileRank(RankPhi),
+    /// Tile-size task MSE alternative, per-kernel weighted (§4.2).
+    TileMse,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Kernels per batch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient clipping norm.
+    pub clip: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// The objective.
+    pub loss: TaskLoss,
+    /// Cap on batches per epoch (subsampling very large datasets the way
+    /// the paper's 207M-example corpus must be subsampled per epoch).
+    pub max_batches_per_epoch: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 25,
+            batch_size: 24,
+            lr: 1e-3,
+            clip: 5.0,
+            seed: 5,
+            loss: TaskLoss::FusionLogMse,
+            max_batches_per_epoch: 400,
+        }
+    }
+}
+
+/// Per-epoch training trace and the best validation metric observed.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f64>,
+    /// Validation metric per epoch (MAPE for fusion — lower better; mean
+    /// per-kernel Kendall τ for tile — higher better).
+    pub val_metric: Vec<f64>,
+    /// Best validation metric.
+    pub best_val: f64,
+    /// Epoch index of the best metric.
+    pub best_epoch: usize,
+}
+
+impl TrainReport {
+    /// Render the per-epoch trace as CSV (`epoch,train_loss,val_metric`),
+    /// for plotting training curves outside Rust.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,train_loss,val_metric\n");
+        for (i, (l, v)) in self.train_loss.iter().zip(&self.val_metric).enumerate() {
+            out.push_str(&format!("{i},{l},{v}\n"));
+        }
+        out
+    }
+}
+
+/// A model trainable on kernel batches: implemented by [`GnnModel`] and
+/// [`LstmModel`] so both share one training loop.
+pub trait KernelModel {
+    /// Forward pass producing `[B×1]` log-runtime predictions.
+    fn forward_batch(&self, tape: &mut Tape, batch: &GraphBatch) -> Var;
+    /// Parameter store.
+    fn params(&self) -> &ParamStore;
+    /// Mutable parameter store.
+    fn params_mut(&mut self) -> &mut ParamStore;
+    /// Human-readable name for reports.
+    fn model_name(&self) -> &'static str;
+}
+
+impl KernelModel for GnnModel {
+    fn forward_batch(&self, tape: &mut Tape, batch: &GraphBatch) -> Var {
+        self.forward(tape, batch)
+    }
+    fn params(&self) -> &ParamStore {
+        self.store()
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        self.store_mut()
+    }
+    fn model_name(&self) -> &'static str {
+        "gnn"
+    }
+}
+
+impl KernelModel for LstmModel {
+    fn forward_batch(&self, tape: &mut Tape, batch: &GraphBatch) -> Var {
+        self.forward(tape, batch)
+    }
+    fn params(&self) -> &ParamStore {
+        self.store()
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        self.store_mut()
+    }
+    fn model_name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+/// Featurize samples once before training.
+pub fn prepare(samples: &[Sample]) -> Vec<Prepared> {
+    samples.iter().map(Prepared::from_sample).collect()
+}
+
+/// Batched log-runtime prediction over prepared samples.
+pub fn predict_log_ns<M: KernelModel>(model: &M, prepared: &[Prepared]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(prepared.len());
+    for chunk in prepared.chunks(64) {
+        let refs: Vec<&Prepared> = chunk.iter().collect();
+        let batch = GraphBatch::pack(&refs);
+        let mut tape = Tape::new();
+        let pred = model.forward_batch(&mut tape, &batch);
+        let t = tape.value(pred);
+        out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));
+    }
+    out
+}
+
+/// Validation metric: fusion → MAPE on ns (lower better); tile → mean
+/// per-group Kendall τ (higher better).
+pub fn validation_metric<M: KernelModel>(model: &M, val: &[Prepared], loss: TaskLoss) -> f64 {
+    if val.is_empty() {
+        return f64::NAN;
+    }
+    let preds = predict_log_ns(model, val);
+    match loss {
+        TaskLoss::FusionLogMse => {
+            let pred_ns: Vec<f64> = preds.iter().map(|&p| p.exp()).collect();
+            let targets: Vec<f64> = val.iter().map(|p| p.runtime_ns).collect();
+            mape(&pred_ns, &targets)
+        }
+        TaskLoss::TileRank(_) | TaskLoss::TileMse => {
+            mean(&per_group_kendall(&preds, val))
+        }
+    }
+}
+
+/// Kendall τ between predictions and targets within each group.
+pub fn per_group_kendall(preds: &[f64], prepared: &[Prepared]) -> Vec<f64> {
+    let mut by_group: HashMap<usize, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    for (p, item) in preds.iter().zip(prepared) {
+        let e = by_group.entry(item.group).or_default();
+        e.0.push(*p);
+        e.1.push(item.runtime_ns);
+    }
+    by_group
+        .values()
+        .filter(|(a, _)| a.len() >= 2)
+        .map(|(a, b)| kendall_tau(a, b))
+        .collect()
+}
+
+fn batch_indices(
+    prepared: &[Prepared],
+    cfg: &TrainConfig,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Vec<usize>> {
+    match cfg.loss {
+        TaskLoss::FusionLogMse => {
+            let mut idx: Vec<usize> = (0..prepared.len()).collect();
+            idx.shuffle(rng);
+            idx.chunks(cfg.batch_size).map(<[usize]>::to_vec).collect()
+        }
+        // Tile task: keep groups intact so in-batch pairs exist (§4.2's
+        // batching modification).
+        TaskLoss::TileRank(_) | TaskLoss::TileMse => {
+            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, p) in prepared.iter().enumerate() {
+                groups.entry(p.group).or_default().push(i);
+            }
+            let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+            group_list.shuffle(rng);
+            let mut batches = Vec::new();
+            let mut cur: Vec<usize> = Vec::new();
+            for g in group_list {
+                if !cur.is_empty() && cur.len() + g.len() > cfg.batch_size {
+                    batches.push(std::mem::take(&mut cur));
+                }
+                cur.extend(g);
+            }
+            if !cur.is_empty() {
+                batches.push(cur);
+            }
+            batches
+        }
+    }
+}
+
+fn batch_loss<M: KernelModel>(
+    model: &M,
+    tape: &mut Tape,
+    batch: &GraphBatch,
+    loss: TaskLoss,
+) -> Option<Var> {
+    let pred = model.forward_batch(tape, batch);
+    match loss {
+        TaskLoss::FusionLogMse => {
+            let target = tape.input(batch.log_targets());
+            Some(mse_loss(tape, pred, target))
+        }
+        TaskLoss::TileRank(phi) => {
+            grouped_pairwise_rank_loss(tape, pred, &batch.targets_ns, &batch.groups, phi)
+        }
+        TaskLoss::TileMse => {
+            // Weight each sample by 1/group-size so every kernel counts
+            // equally (§4.2).
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for &g in &batch.groups {
+                *counts.entry(g).or_default() += 1;
+            }
+            let weights: Vec<f32> = batch
+                .groups
+                .iter()
+                .map(|g| 1.0 / counts[g] as f32)
+                .collect();
+            let w = Rc::new(Tensor::from_vec(weights.len(), 1, weights));
+            let target = tape.input(batch.log_targets());
+            Some(tpu_nn::weighted_mse_loss(tape, pred, target, w))
+        }
+    }
+}
+
+/// Train a model, tracking the validation metric per epoch and restoring
+/// the best-validation weights at the end (early-stopping selection).
+pub fn train<M: KernelModel>(
+    model: &mut M,
+    train_set: &[Prepared],
+    val_set: &[Prepared],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut report = TrainReport {
+        train_loss: Vec::new(),
+        val_metric: Vec::new(),
+        best_val: f64::NAN,
+        best_epoch: 0,
+    };
+    let higher_better = matches!(cfg.loss, TaskLoss::TileRank(_) | TaskLoss::TileMse);
+    let mut best_weights: Option<String> = None;
+
+    for epoch in 0..cfg.epochs {
+        let mut batches = batch_indices(train_set, cfg, &mut rng);
+        batches.truncate(cfg.max_batches_per_epoch);
+        let mut losses = Vec::new();
+        for idxs in &batches {
+            let refs: Vec<&Prepared> = idxs.iter().map(|&i| &train_set[i]).collect();
+            let batch = GraphBatch::pack(&refs);
+            let mut tape = Tape::new();
+            let Some(loss) = batch_loss(model, &mut tape, &batch, cfg.loss) else {
+                continue;
+            };
+            losses.push(tape.value(loss).item() as f64);
+            model.params_mut().zero_grads();
+            tape.backward(loss, model.params_mut());
+            clip_grad_norm(model.params_mut(), cfg.clip);
+            opt.step(model.params_mut());
+        }
+        report.train_loss.push(mean(&losses));
+
+        let vm = validation_metric(model, val_set, cfg.loss);
+        report.val_metric.push(vm);
+        let improved = report.best_val.is_nan()
+            || (higher_better && vm > report.best_val)
+            || (!higher_better && vm < report.best_val);
+        if improved && vm.is_finite() {
+            report.best_val = vm;
+            report.best_epoch = epoch;
+            best_weights = Some(model.params().to_json());
+        }
+    }
+
+    if let Some(w) = best_weights {
+        if let Ok(store) = ParamStore::from_json(&w) {
+            *model.params_mut() = store;
+        }
+    }
+    report
+}
+
+/// One hyperparameter-search trial description and its score.
+#[derive(Debug, Clone)]
+pub struct HyperTrial {
+    /// Description, e.g. `"reduction=Sum pooling=3 phi=Logistic"`.
+    pub description: String,
+    /// Validation metric achieved.
+    pub val_metric: f64,
+}
+
+/// Grid-search GraphSAGE hyperparameters (reduction × pooling combo, and φ
+/// for the rank loss), returning the best model and all trials.
+///
+/// The grid mirrors the paper's tuned choices at laptop scale.
+pub fn hyper_search_gnn(
+    base: crate::model::GnnConfig,
+    train_set: &[Prepared],
+    val_set: &[Prepared],
+    cfg: &TrainConfig,
+) -> (GnnModel, TrainReport, Vec<HyperTrial>) {
+    use crate::model::{PoolCombo, Reduction};
+    let reductions = [Reduction::Sum, Reduction::Mean, Reduction::Max];
+    let poolings = [
+        PoolCombo::all(),
+        PoolCombo {
+            sum: true,
+            mean: false,
+            max: true,
+        },
+    ];
+    let phis: Vec<TaskLoss> = match cfg.loss {
+        TaskLoss::TileRank(_) => vec![
+            TaskLoss::TileRank(RankPhi::Hinge),
+            TaskLoss::TileRank(RankPhi::Logistic),
+        ],
+        other => vec![other],
+    };
+
+    let higher_better = matches!(cfg.loss, TaskLoss::TileRank(_) | TaskLoss::TileMse);
+    let mut best: Option<(GnnModel, TrainReport, f64)> = None;
+    let mut trials = Vec::new();
+    for &red in &reductions {
+        for &pool in &poolings {
+            for &loss in &phis {
+                let mut gcfg = base.clone();
+                gcfg.reduction = red;
+                gcfg.pooling = pool;
+                let mut model = GnnModel::new(gcfg);
+                let mut tcfg = cfg.clone();
+                tcfg.loss = loss;
+                let report = train(&mut model, train_set, val_set, &tcfg);
+                let score = report.best_val;
+                trials.push(HyperTrial {
+                    description: format!(
+                        "reduction={red:?} pooling={} loss={loss:?}",
+                        pool.count()
+                    ),
+                    val_metric: score,
+                });
+                let better = match &best {
+                    None => true,
+                    Some((_, _, b)) => {
+                        (higher_better && score > *b) || (!higher_better && score < *b)
+                    }
+                };
+                if better && score.is_finite() {
+                    best = Some((model, report, score));
+                }
+            }
+        }
+    }
+    let (model, report, _) = best.expect("at least one trial");
+    (model, report, trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape, TileSize};
+    use tpu_sim::{kernel_time_ns, TpuConfig};
+
+    fn ew_kernel(rows: usize, cols: usize) -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(rows, cols), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        Kernel::new(b.finish(e))
+    }
+
+    fn fusion_dataset() -> (Vec<Prepared>, Vec<Prepared>) {
+        let cfg = TpuConfig::default();
+        let sizes = [
+            (64, 128),
+            (128, 256),
+            (256, 256),
+            (512, 512),
+            (1024, 512),
+            (1024, 1024),
+            (2048, 1024),
+            (128, 4096),
+            (32, 2048),
+            (2048, 2048),
+        ];
+        let mut samples = Vec::new();
+        for &(r, c) in &sizes {
+            let k = ew_kernel(r, c);
+            let t = kernel_time_ns(&k, &cfg);
+            samples.push(Sample::new(k, t));
+        }
+        let prepared = prepare(&samples);
+        let val = prepared[7..].to_vec();
+        let train = prepared[..7].to_vec();
+        (train, val)
+    }
+
+    #[test]
+    fn gnn_learns_size_scaling() {
+        let (train_set, val_set) = fusion_dataset();
+        let mut model = GnnModel::new(GnnConfig {
+            hidden: 24,
+            opcode_embed_dim: 8,
+            hops: 1,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 150,
+            batch_size: 4,
+            lr: 5e-3,
+            ..Default::default()
+        };
+        let report = train(&mut model, &train_set, &val_set, &cfg);
+        assert!(
+            report.best_val < 60.0,
+            "val MAPE should drop below 60%: {:?}",
+            report.best_val
+        );
+        // Loss should broadly decrease.
+        let first = report.train_loss[0];
+        let last = *report.train_loss.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn lstm_also_trains() {
+        let (train_set, val_set) = fusion_dataset();
+        let mut model = LstmModel::new(crate::lstm_model::LstmConfig {
+            node_dim: 24,
+            hidden: 24,
+            opcode_embed_dim: 8,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            lr: 3e-3,
+            ..Default::default()
+        };
+        let report = train(&mut model, &train_set, &val_set, &cfg);
+        assert!(report.best_val.is_finite());
+        assert!(report.train_loss.last().unwrap() < &report.train_loss[0]);
+    }
+
+    #[test]
+    fn tile_rank_training_improves_tau() {
+        // One kernel family, several tile sizes; the model must learn to
+        // rank tiles within each kernel.
+        let cfg_hw = TpuConfig::default();
+        let mut samples = Vec::new();
+        let mut group = 0;
+        for &(r, c) in &[(512usize, 1024usize), (1024, 1024), (2048, 512)] {
+            let k = ew_kernel(r, c);
+            for tile in tpu_tile::valid_tile_sizes(&k, &cfg_hw, 12) {
+                let kt = k.clone().with_tile(tile);
+                let t = kernel_time_ns(&kt, &cfg_hw);
+                samples.push(Sample::grouped(kt, t, group));
+            }
+            group += 1;
+        }
+        let prepared = prepare(&samples);
+        let (train_set, val_set) = (prepared.clone(), prepared.clone());
+
+        let mut model = GnnModel::new(GnnConfig {
+            hidden: 24,
+            opcode_embed_dim: 8,
+            hops: 1,
+            ..Default::default()
+        });
+        let before = validation_metric(&model, &val_set, TaskLoss::TileRank(RankPhi::Logistic));
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 3e-3,
+            loss: TaskLoss::TileRank(RankPhi::Logistic),
+            ..Default::default()
+        };
+        let report = train(&mut model, &train_set, &val_set, &cfg);
+        assert!(
+            report.best_val > before.max(0.2),
+            "tau should improve: before={before} after={}",
+            report.best_val
+        );
+    }
+
+    #[test]
+    fn batching_keeps_groups_intact_for_tile_task() {
+        let k = ew_kernel(256, 256);
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample::grouped(k.clone(), 100.0 + i as f64, i / 5))
+            .collect();
+        let prepared = prepare(&samples);
+        let cfg = TrainConfig {
+            batch_size: 5,
+            loss: TaskLoss::TileRank(RankPhi::Hinge),
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let batches = batch_indices(&prepared, &cfg, &mut rng);
+        for b in &batches {
+            let groups: std::collections::HashSet<usize> =
+                b.iter().map(|&i| prepared[i].group).collect();
+            // Each batch contains whole groups (5 samples per group).
+            assert_eq!(b.len() % 5, 0, "group split across batches: {b:?}");
+            let _ = groups;
+        }
+    }
+
+    #[test]
+    fn per_group_kendall_respects_groups() {
+        let k = ew_kernel(256, 256);
+        let mut prepared = Vec::new();
+        for (g, t) in [(0usize, 1.0f64), (0, 2.0), (1, 5.0), (1, 3.0)] {
+            prepared.push(Prepared::from_sample(&Sample::grouped(k.clone(), t, g)));
+        }
+        // Predictions perfectly ordered within group 0, inverted in 1.
+        let preds = [0.1, 0.2, 0.3, 0.9];
+        let taus = per_group_kendall(&preds, &prepared);
+        assert_eq!(taus.len(), 2);
+        let mut sorted = taus.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn tile_size_feature_changes_prediction() {
+        // The tile sub-vector must flow through the model: same kernel,
+        // different tile, different prediction.
+        let model = GnnModel::new(GnnConfig::default());
+        let k = ew_kernel(1024, 1024);
+        let a = model.predict_log_ns(&k.clone().with_tile(TileSize(vec![128, 64])));
+        let b = model.predict_log_ns(&k.clone().with_tile(TileSize(vec![1024, 8])));
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_one_row_per_epoch() {
+        let r = TrainReport {
+            train_loss: vec![1.0, 0.5],
+            val_metric: vec![30.0, 20.0],
+            best_val: 20.0,
+            best_epoch: 1,
+        };
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().next().unwrap().starts_with("epoch,"));
+        assert!(csv.contains("1,0.5,20"));
+    }
+}

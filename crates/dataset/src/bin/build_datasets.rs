@@ -1,0 +1,83 @@
+//! `build-datasets`: generate the fusion and tile-size datasets and write
+//! them as JSONL, so experiment runs can reuse a cached corpus.
+//!
+//! ```text
+//! cargo run -p tpu-dataset --release --bin build-datasets -- \
+//!     [--out DIR] [--tiny] [--configs N] [--tiles N]
+//! ```
+
+use std::path::PathBuf;
+use tpu_dataset::{
+    build_fusion_dataset, build_tile_dataset, fraction_below_5us, write_fusion_dataset,
+    write_tile_dataset, Corpus, CorpusScale, FusionDatasetConfig, TileDatasetConfig,
+};
+
+fn main() {
+    let mut out = PathBuf::from("datasets");
+    let mut scale = CorpusScale::Full;
+    let mut configs = 40usize;
+    let mut tiles = 40usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a dir")),
+            "--tiny" => scale = CorpusScale::Tiny,
+            "--configs" => {
+                configs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--configs needs a number")
+            }
+            "--tiles" => {
+                tiles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tiles needs a number")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    let corpus = Corpus::build(scale);
+    println!("corpus: {} programs ({scale:?})", corpus.len());
+
+    let t0 = std::time::Instant::now();
+    let fusion = build_fusion_dataset(
+        &corpus,
+        &FusionDatasetConfig {
+            configs_per_program: configs,
+            ..Default::default()
+        },
+    );
+    println!(
+        "fusion dataset: {} unique kernels ({:.1}% below 5us) in {:?}",
+        fusion.examples.len(),
+        100.0 * fraction_below_5us(&fusion),
+        t0.elapsed()
+    );
+    let fusion_path = out.join("fusion.jsonl");
+    write_fusion_dataset(&fusion, &fusion_path).expect("write fusion dataset");
+    println!("wrote {}", fusion_path.display());
+
+    let t0 = std::time::Instant::now();
+    let tile = build_tile_dataset(
+        &corpus,
+        &TileDatasetConfig {
+            max_tiles_per_kernel: tiles,
+            ..Default::default()
+        },
+    );
+    println!(
+        "tile dataset: {} examples over {} kernels in {:?}",
+        tile.examples.len(),
+        tile.num_kernels,
+        t0.elapsed()
+    );
+    let tile_path = out.join("tile.jsonl");
+    write_tile_dataset(&tile, &tile_path).expect("write tile dataset");
+    println!("wrote {}", tile_path.display());
+}

@@ -1,0 +1,14 @@
+//! Synthetic model-family generators standing in for the paper's corpus of
+//! "104 XLA programs that implement either production models or common
+//! models used in research" (§5).
+
+mod attention;
+mod cnn;
+mod common;
+mod misc;
+mod rnn;
+
+pub use attention::{bert_lite, nmt, transformer};
+pub use cnn::{inception, lenet, resnet_v1, resnet_v2, ssd, unet, vgg};
+pub use misc::{autoencoder, char2feats, convdraw, deep_and_wide, mlp, ncf, resnet_parallel};
+pub use rnn::{gru_lm, lstm_lm, rnn_lm, wavernn};

@@ -1,0 +1,104 @@
+//! Dataset statistics — the numbers behind Table 1.
+
+use crate::corpus::Split;
+use crate::fusion_ds::FusionDataset;
+use crate::tile_ds::TileDataset;
+
+/// Program and kernel counts for one (task, split) combination, one row
+/// group of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitStats {
+    /// Programs in train/val/test.
+    pub programs: (usize, usize, usize),
+    /// Examples (kernels or kernel×tile pairs) in train/val/test.
+    pub examples: (usize, usize, usize),
+}
+
+/// Table-1 statistics for the fusion dataset under a split.
+pub fn fusion_stats(ds: &FusionDataset, split: &Split) -> SplitStats {
+    let (tr, va, te) = ds.split(split);
+    let count_programs = |idxs: &[usize], examples: &[&crate::fusion_ds::KernelExample]| {
+        idxs.iter()
+            .filter(|&&i| examples.iter().any(|e| e.program_idx == i))
+            .count()
+    };
+    SplitStats {
+        programs: (
+            count_programs(&split.train, &tr),
+            count_programs(&split.val, &va),
+            count_programs(&split.test, &te),
+        ),
+        examples: (tr.len(), va.len(), te.len()),
+    }
+}
+
+/// Table-1 statistics for the tile dataset under a split.
+pub fn tile_stats(ds: &TileDataset, split: &Split) -> SplitStats {
+    let (tr, va, te) = ds.split(split);
+    let count_programs = |idxs: &[usize], examples: &[&crate::tile_ds::TileExample]| {
+        idxs.iter()
+            .filter(|&&i| examples.iter().any(|e| e.program_idx == i))
+            .count()
+    };
+    SplitStats {
+        programs: (
+            count_programs(&split.train, &tr),
+            count_programs(&split.val, &va),
+            count_programs(&split.test, &te),
+        ),
+        examples: (tr.len(), va.len(), te.len()),
+    }
+}
+
+/// Fraction of fusion examples with runtime below 5 µs (§5 reports ~half).
+pub fn fraction_below_5us(ds: &FusionDataset) -> f64 {
+    if ds.examples.is_empty() {
+        return 0.0;
+    }
+    ds.examples
+        .iter()
+        .filter(|e| e.runtime_ns < 5_000.0)
+        .count() as f64
+        / ds.examples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusScale};
+    use crate::fusion_ds::{build_fusion_dataset, FusionDatasetConfig};
+
+    #[test]
+    fn fusion_stats_counts_match_split() {
+        let corpus = Corpus::build(CorpusScale::Tiny);
+        let ds = build_fusion_dataset(
+            &corpus,
+            &FusionDatasetConfig {
+                configs_per_program: 4,
+                ..Default::default()
+            },
+        );
+        let split = corpus.random_split(0);
+        let stats = fusion_stats(&ds, &split);
+        let total = stats.examples.0 + stats.examples.1 + stats.examples.2;
+        assert_eq!(total, ds.examples.len());
+        assert!(stats.programs.0 <= split.train.len());
+    }
+
+    #[test]
+    fn below_5us_fraction_in_unit_range() {
+        let corpus = Corpus::build(CorpusScale::Tiny);
+        let small = Corpus {
+            entries: corpus.entries[..2].to_vec(),
+        };
+        let ds = build_fusion_dataset(
+            &small,
+            &FusionDatasetConfig {
+                configs_per_program: 4,
+                ..Default::default()
+            },
+        );
+        let f = fraction_below_5us(&ds);
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

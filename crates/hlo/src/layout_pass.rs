@@ -1,0 +1,144 @@
+//! Layout assignment: give intermediate tensors non-default physical
+//! layouts.
+//!
+//! The learned model featurizes layouts and strides (§4.1); a corpus in
+//! which every tensor is row-major never exercises those features. This
+//! pass mimics a compiler's layout assignment, propagating column-major
+//! layouts around transposes and optionally perturbing layouts for data
+//! augmentation.
+
+use crate::graph::Computation;
+use crate::opcode::Opcode;
+use crate::shape::Layout;
+
+/// Assign transpose-aware layouts: the output of a `transpose` keeps its
+/// operand's *physical* layout permuted, making the transpose itself a
+/// free relabeling (what a real layout pass does to elide copies).
+/// Returns the number of nodes whose layout changed.
+pub fn propagate_transpose_layouts(c: &mut Computation) -> usize {
+    let mut changed = 0;
+    for i in 0..c.num_nodes() {
+        let id = crate::node::NodeId(i as u32);
+        let node = c.node(id);
+        if node.opcode != Opcode::Transpose {
+            continue;
+        }
+        let perm = node.attrs.transpose_perm.clone();
+        let operand_layout = c.node(node.operands[0]).layout.clone();
+        // Output dim j corresponds to input dim perm[j]; physical order of
+        // the output follows the operand's physical order through perm⁻¹.
+        let mut inv = vec![0usize; perm.len()];
+        for (j, &p) in perm.iter().enumerate() {
+            inv[p] = j;
+        }
+        let new_m2m: Vec<usize> = operand_layout
+            .minor_to_major()
+            .iter()
+            .map(|&d| inv[d])
+            .collect();
+        let new_layout = Layout::new(new_m2m);
+        if c.node(id).layout != new_layout {
+            c.node_mut(id).layout = new_layout;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Deterministically flip the layouts of a fraction of rank-≥2
+/// intermediate tensors to column-major (data augmentation for the layout
+/// features). `one_in` = flip every n-th eligible node. Returns how many
+/// layouts were flipped.
+pub fn perturb_layouts(c: &mut Computation, one_in: usize) -> usize {
+    if one_in == 0 {
+        return 0;
+    }
+    let mut flipped = 0;
+    let mut counter = 0usize;
+    for i in 0..c.num_nodes() {
+        let id = crate::node::NodeId(i as u32);
+        let node = c.node(id);
+        if node.shape.rank() < 2 || node.opcode == Opcode::Parameter {
+            continue;
+        }
+        counter += 1;
+        if counter % one_in == 0 {
+            let rank = node.shape.rank();
+            // Column-major: reverse of the default permutation.
+            let m2m: Vec<usize> = (0..rank).collect();
+            c.node_mut(id).layout = Layout::new(m2m);
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dtype::DType;
+    use crate::shape::Shape;
+
+    #[test]
+    fn transpose_layout_propagates() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::new(vec![2, 3, 4]), DType::F32);
+        let t = b.transpose(x, vec![2, 0, 1]);
+        let mut c = b.finish(t);
+        let changed = propagate_transpose_layouts(&mut c);
+        assert_eq!(changed, 1);
+        // The transpose output's layout is no longer the row-major default.
+        assert!(!c.node(t).layout.is_default());
+        // Strides remain a valid permutation covering all elements.
+        let node = c.node(t);
+        let strides = node.layout.strides(&node.shape);
+        let max_addr: u64 = strides
+            .iter()
+            .zip(node.shape.dims())
+            .map(|(&s, &d)| s * (d as u64 - 1))
+            .sum();
+        assert_eq!(max_addr + 1, node.shape.elem_count());
+    }
+
+    #[test]
+    fn identity_transpose_keeps_default() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let t = b.transpose(x, vec![0, 1]);
+        let mut c = b.finish(t);
+        let changed = propagate_transpose_layouts(&mut c);
+        assert_eq!(changed, 0);
+        assert!(c.node(t).layout.is_default());
+    }
+
+    #[test]
+    fn perturb_flips_requested_fraction() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(8, 8), DType::F32);
+        let mut v = x;
+        for _ in 0..10 {
+            v = b.tanh(v);
+        }
+        let mut c = b.finish(v);
+        let flipped = perturb_layouts(&mut c, 2);
+        assert_eq!(flipped, 5);
+        assert!(c.validate().is_ok());
+        // Flipped nodes are column-major.
+        let n_colmajor = c
+            .nodes()
+            .iter()
+            .filter(|n| !n.layout.is_default() && n.shape.rank() == 2)
+            .count();
+        assert_eq!(n_colmajor, 5);
+    }
+
+    #[test]
+    fn perturb_zero_is_noop() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(8, 8), DType::F32);
+        let t = b.tanh(x);
+        let mut c = b.finish(t);
+        assert_eq!(perturb_layouts(&mut c, 0), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Graph-cleanup passes: dead-code elimination and common-subexpression
+//! elimination.
+//!
+//! The dataset pipeline deduplicates whole kernels; these passes normalize
+//! *within* a computation, the way a production compiler would before
+//! fusion: drop nodes that cannot reach the root, and merge structurally
+//! identical nodes so the fusion search space has no redundant decisions.
+
+use crate::graph::Computation;
+use crate::node::{Node, NodeId};
+use crate::opcode::Opcode;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Dead-code elimination: keep only nodes reachable from the root
+/// (following operand edges), remapping ids densely. Parameters are always
+/// kept — they are the program's signature, even when unused.
+pub fn dce(c: &Computation) -> Computation {
+    let mut live = vec![false; c.num_nodes()];
+    let mut stack = vec![c.root()];
+    live[c.root().index()] = true;
+    while let Some(cur) = stack.pop() {
+        for &op in &c.node(cur).operands {
+            if !live[op.index()] {
+                live[op.index()] = true;
+                stack.push(op);
+            }
+        }
+    }
+    for node in c.nodes() {
+        if node.opcode == Opcode::Parameter {
+            live[node.id.index()] = true;
+        }
+    }
+
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    for node in c.nodes() {
+        if !live[node.id.index()] {
+            continue;
+        }
+        let new_id = NodeId(nodes.len() as u32);
+        let mut n = node.clone();
+        n.id = new_id;
+        n.operands = n.operands.iter().map(|o| remap[o]).collect();
+        remap.insert(node.id, new_id);
+        nodes.push(n);
+    }
+    Computation::from_parts(c.name().to_string(), nodes, remap[&c.root()])
+        .expect("dce preserves validity")
+}
+
+fn node_key(n: &Node, operand_class: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    n.opcode.mnemonic().hash(&mut h);
+    n.dtype.index().hash(&mut h);
+    n.shape.dims().hash(&mut h);
+    n.layout.minor_to_major().hash(&mut h);
+    for &op in &n.operands {
+        operand_class[op.index()].hash(&mut h);
+    }
+    // Attribute payloads (reuse serde for a stable encoding).
+    serde_json::to_string(&n.attrs)
+        .expect("attrs serialize")
+        .hash(&mut h);
+    h.finish()
+}
+
+/// Common-subexpression elimination: structurally identical nodes (same
+/// opcode, types, attributes, and — recursively — identical operands)
+/// collapse to one. `Parameter` and `Rng` nodes are never merged
+/// (parameters are distinct inputs; RNG draws are distinct samples).
+///
+/// Runs [`dce`] afterwards to drop the orphaned duplicates.
+pub fn cse(c: &Computation) -> Computation {
+    // Value-number in topological (id) order.
+    let n = c.num_nodes();
+    let mut class = vec![0u64; n];
+    let mut canonical: HashMap<u64, NodeId> = HashMap::new();
+    let mut replace: HashMap<NodeId, NodeId> = HashMap::new();
+
+    let order = c.topo_order().expect("valid graph");
+    for id in order {
+        let node = c.node(id);
+        if matches!(node.opcode, Opcode::Parameter | Opcode::Rng) {
+            // Unique class per instance.
+            let mut h = DefaultHasher::new();
+            ("unique", id.0).hash(&mut h);
+            class[id.index()] = h.finish();
+            continue;
+        }
+        // Key uses the *replacement* classes of operands.
+        let mut n2 = node.clone();
+        n2.operands = n2
+            .operands
+            .iter()
+            .map(|o| *replace.get(o).unwrap_or(o))
+            .collect();
+        let key = node_key(&n2, &class);
+        class[id.index()] = key;
+        match canonical.get(&key) {
+            Some(&canon) => {
+                replace.insert(id, canon);
+                class[id.index()] = class[canon.index()];
+            }
+            None => {
+                canonical.insert(key, id);
+            }
+        }
+    }
+
+    if replace.is_empty() {
+        return dce(c);
+    }
+
+    let mut nodes: Vec<Node> = c.nodes().to_vec();
+    for node in &mut nodes {
+        node.operands = node
+            .operands
+            .iter()
+            .map(|o| *replace.get(o).unwrap_or(o))
+            .collect();
+    }
+    let root = *replace.get(&c.root()).unwrap_or(&c.root());
+    let merged = Computation::from_parts(c.name().to_string(), nodes, root)
+        .expect("cse preserves validity");
+    dce(&merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dtype::DType;
+    use crate::interp::evaluate_seeded;
+    use crate::shape::Shape;
+
+    #[test]
+    fn dce_drops_unreachable_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let dead = b.exp(x);
+        let _dead2 = b.tanh(dead);
+        let live = b.abs(x);
+        let c = b.finish(live);
+        let out = dce(&c);
+        assert_eq!(out.num_nodes(), 2, "param + abs survive");
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn dce_keeps_unused_parameters() {
+        let mut b = GraphBuilder::new("t");
+        let _unused = b.parameter("u", Shape::matrix(2, 2), DType::F32);
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let y = b.tanh(x);
+        let c = b.finish(y);
+        let out = dce(&c);
+        assert_eq!(out.parameters().len(), 2);
+    }
+
+    #[test]
+    fn cse_merges_identical_subtrees() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let e1 = b.exp(x);
+        let e2 = b.exp(x); // identical
+        let t1 = b.tanh(e1);
+        let t2 = b.tanh(e2); // identical after merging e1/e2
+        let m = b.add(t1, t2);
+        let c = b.finish(m);
+        let out = cse(&c);
+        // param, exp, tanh, add = 4 nodes.
+        assert_eq!(out.num_nodes(), 4, "{}", crate::text::dump_computation(&out));
+        // add now takes the same operand twice.
+        let root = out.node(out.root());
+        assert_eq!(root.operands[0], root.operands[1]);
+    }
+
+    #[test]
+    fn cse_preserves_semantics() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(3, 5), DType::F32);
+        let e1 = b.exp(x);
+        let e2 = b.exp(x);
+        let s = b.add(e1, e2);
+        let sm = b.softmax(s);
+        let c = b.finish(sm);
+        let out = cse(&c);
+        assert!(out.num_nodes() < c.num_nodes());
+        let before = evaluate_seeded(&c, 5).unwrap();
+        let after = evaluate_seeded(&out, 5).unwrap();
+        assert_eq!(before.dims(), after.dims());
+        for (a, b2) in before.data().iter().zip(after.data()) {
+            assert!((a - b2).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cse_does_not_merge_rng_or_parameters() {
+        let mut b = GraphBuilder::new("t");
+        let r1 = b.rng(Shape::matrix(4, 4), DType::F32);
+        let r2 = b.rng(Shape::matrix(4, 4), DType::F32);
+        let s = b.add(r1, r2);
+        let c = b.finish(s);
+        let out = cse(&c);
+        assert_eq!(out.num_nodes(), 3, "two RNG draws stay distinct");
+
+        let mut b = GraphBuilder::new("t");
+        let p1 = b.parameter("a", Shape::matrix(2, 2), DType::F32);
+        let p2 = b.parameter("b", Shape::matrix(2, 2), DType::F32);
+        let s = b.add(p1, p2);
+        let c = b.finish(s);
+        assert_eq!(cse(&c).parameters().len(), 2);
+    }
+
+    #[test]
+    fn cse_distinguishes_different_attrs() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 8), DType::F32);
+        let r1 = b.reduce(x, vec![0]);
+        let r2 = b.reduce(x, vec![1]);
+        let r1e = b.exp(r1);
+        let r2e = b.exp(r2);
+        let r1s = b.reduce(r1e, vec![0]);
+        let r2s = b.reduce(r2e, vec![0]);
+        let m = b.add(r1s, r2s);
+        let c = b.finish(m);
+        let out = cse(&c);
+        assert_eq!(out.num_nodes(), c.num_nodes(), "nothing to merge");
+    }
+
+    #[test]
+    fn passes_idempotent() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 4), DType::F32);
+        let e1 = b.exp(x);
+        let e2 = b.exp(x);
+        let m = b.add(e1, e2);
+        let c = b.finish(m);
+        let once = cse(&c);
+        let twice = cse(&once);
+        assert_eq!(
+            crate::hashing::canonical_hash(&once),
+            crate::hashing::canonical_hash(&twice)
+        );
+    }
+}

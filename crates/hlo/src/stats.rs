@@ -1,0 +1,142 @@
+//! Summary statistics over computations and programs — the numbers a
+//! corpus analysis or paper table needs at a glance.
+
+use crate::graph::Computation;
+use crate::opcode::{OpCategory, Opcode};
+use crate::program::FusedProgram;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of one computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputationStats {
+    /// Total node count (including parameters).
+    pub nodes: usize,
+    /// Operand edge count.
+    pub edges: usize,
+    /// Primitive op count (excluding parameters/constants).
+    pub ops: usize,
+    /// Count per opcode mnemonic.
+    pub opcode_histogram: BTreeMap<&'static str, usize>,
+    /// Count per coarse category.
+    pub category_histogram: BTreeMap<String, usize>,
+    /// Total bytes of all parameter tensors.
+    pub parameter_bytes: u64,
+    /// Bytes of the root output tensor.
+    pub output_bytes: u64,
+    /// Longest operand-path length (graph depth).
+    pub depth: usize,
+}
+
+/// Compute statistics for a computation.
+pub fn computation_stats(c: &Computation) -> ComputationStats {
+    let mut opcode_histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut category_histogram: BTreeMap<String, usize> = BTreeMap::new();
+    let mut parameter_bytes = 0u64;
+    let mut ops = 0usize;
+    let mut depth = vec![0usize; c.num_nodes()];
+    for n in c.nodes() {
+        *opcode_histogram.entry(n.opcode.mnemonic()).or_default() += 1;
+        *category_histogram
+            .entry(format!("{:?}", n.opcode.category()))
+            .or_default() += 1;
+        match n.opcode {
+            Opcode::Parameter => parameter_bytes += n.output_bytes(),
+            Opcode::Constant => {}
+            _ => ops += 1,
+        }
+        for &op in &n.operands {
+            depth[n.id.index()] = depth[n.id.index()].max(depth[op.index()] + 1);
+        }
+    }
+    ComputationStats {
+        nodes: c.num_nodes(),
+        edges: c.num_edges(),
+        ops,
+        opcode_histogram,
+        category_histogram,
+        parameter_bytes,
+        output_bytes: c.node(c.root()).output_bytes(),
+        depth: depth.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Kernel-size distribution of a fused program: `(min, median, max)` ops
+/// per kernel.
+pub fn kernel_size_distribution(fp: &FusedProgram) -> (usize, usize, usize) {
+    if fp.kernels.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut sizes: Vec<usize> = fp.kernels.iter().map(|k| k.num_ops()).collect();
+    sizes.sort_unstable();
+    (sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1])
+}
+
+/// Fraction of a computation's ops in a given category.
+pub fn category_fraction(c: &Computation, cat: OpCategory) -> f64 {
+    let total = c
+        .nodes()
+        .iter()
+        .filter(|n| n.opcode != Opcode::Parameter)
+        .count();
+    if total == 0 {
+        return 0.0;
+    }
+    let hits = c
+        .nodes()
+        .iter()
+        .filter(|n| n.opcode != Opcode::Parameter && n.opcode.category() == cat)
+        .count();
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dtype::DType;
+    use crate::kernel::Kernel;
+    use crate::shape::Shape;
+
+    fn sample() -> Computation {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("x", Shape::matrix(4, 8), DType::F32);
+        let w = b.parameter("w", Shape::matrix(8, 4), DType::F32);
+        let d = b.dot(x, w);
+        let t = b.tanh(d);
+        let e = b.exp(t);
+        b.finish(e)
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = computation_stats(&sample());
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.opcode_histogram["dot"], 1);
+        assert_eq!(s.opcode_histogram["parameter"], 2);
+        assert_eq!(s.parameter_bytes, (32 + 32) * 4);
+        assert_eq!(s.output_bytes, 16 * 4);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn category_fractions_sum_to_one() {
+        let c = sample();
+        let total: f64 = crate::opcode::OpCategory::all()
+            .iter()
+            .map(|&cat| category_fraction(&c, cat))
+            .sum();
+        // Parameters excluded from both numerator and denominator.
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn kernel_size_distribution_ordering() {
+        let c = sample();
+        let fp = FusedProgram::new("p", vec![Kernel::new(c.clone()), Kernel::new(c)]);
+        let (min, med, max) = kernel_size_distribution(&fp);
+        assert!(min <= med && med <= max);
+        assert_eq!(max, 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! A human-readable text format for computations, with a round-tripping
+//! parser. Useful for debugging dataset kernels and for golden tests.
+//!
+//! ```text
+//! computation softmax root=%4 {
+//!   %0 = parameter f32[4,10]{1,0} name="x"
+//!   %1 = exp f32[4,10]{1,0} %0
+//!   %2 = reduce f32[4]{0} %1 attrs={"reduce_dims":[1]}
+//!   %3 = broadcast f32[4,10]{1,0} %2 attrs={"broadcast_dims":[0]}
+//!   %4 = divide f32[4,10]{1,0} %1 %3
+//! }
+//! ```
+
+use crate::attrs::NodeAttrs;
+use crate::dtype::DType;
+use crate::error::{HloError, Result};
+use crate::graph::Computation;
+use crate::node::{Node, NodeId};
+use crate::opcode::Opcode;
+use crate::shape::{Layout, Shape};
+use std::fmt::Write as _;
+
+/// Render a computation in the text format.
+pub fn dump_computation(c: &Computation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "computation {} root={} {{", c.name(), c.root());
+    for n in c.nodes() {
+        let _ = write!(out, "  {} = {} {}{}", n.id, n.opcode, n.dtype, n.shape);
+        let _ = write!(out, "{}", n.layout);
+        for op in &n.operands {
+            let _ = write!(out, " {op}");
+        }
+        if !n.name.is_empty() {
+            // Names are whitespace-split by the parser; sanitize.
+            let safe: String = n
+                .name
+                .chars()
+                .map(|ch| if ch.is_whitespace() { '_' } else { ch })
+                .collect();
+            let _ = write!(out, " name={}", serde_json::to_string(&safe).unwrap());
+        }
+        if n.attrs != NodeAttrs::default() {
+            let _ = write!(
+                out,
+                " attrs={}",
+                serde_json::to_string(&n.attrs).expect("attrs serialize")
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> HloError {
+    HloError::Parse {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_node_id(tok: &str, line: usize) -> Result<NodeId> {
+    let digits = tok
+        .strip_prefix('%')
+        .ok_or_else(|| parse_err(line, format!("expected %id, got `{tok}`")))?;
+    digits
+        .parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| parse_err(line, format!("bad node id `{tok}`")))
+}
+
+/// Parse `f32[4,10]{1,0}` into (dtype, shape, layout).
+fn parse_type(tok: &str, line: usize) -> Result<(DType, Shape, Layout)> {
+    let lb = tok
+        .find('[')
+        .ok_or_else(|| parse_err(line, format!("missing `[` in type `{tok}`")))?;
+    let dtype = DType::parse(&tok[..lb])
+        .ok_or_else(|| parse_err(line, format!("unknown dtype in `{tok}`")))?;
+    let rb = tok
+        .find(']')
+        .ok_or_else(|| parse_err(line, format!("missing `]` in type `{tok}`")))?;
+    let dims_str = &tok[lb + 1..rb];
+    let dims: Vec<usize> = if dims_str.is_empty() {
+        Vec::new()
+    } else {
+        dims_str
+            .split(',')
+            .map(|d| {
+                d.parse::<usize>()
+                    .map_err(|_| parse_err(line, format!("bad dim `{d}`")))
+            })
+            .collect::<Result<_>>()?
+    };
+    let rest = &tok[rb + 1..];
+    let layout = if rest.is_empty() {
+        Layout::default_for_rank(dims.len())
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| parse_err(line, format!("bad layout `{rest}`")))?;
+        let m2m: Vec<usize> = if inner.is_empty() {
+            Vec::new()
+        } else {
+            inner
+                .split(',')
+                .map(|d| {
+                    d.parse::<usize>()
+                        .map_err(|_| parse_err(line, format!("bad layout index `{d}`")))
+                })
+                .collect::<Result<_>>()?
+        };
+        Layout::new(m2m)
+    };
+    Ok((dtype, Shape::new(dims), layout))
+}
+
+/// Parse the text format back into a [`Computation`]. Validates the result.
+///
+/// # Errors
+///
+/// Returns [`HloError::Parse`] on malformed input and any validation error
+/// on structurally invalid graphs.
+pub fn parse_computation(text: &str) -> Result<Computation> {
+    let mut lines = text.lines().enumerate();
+    let (header_line_no, header) = lines
+        .by_ref()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .find(|(_, l)| !l.is_empty())
+        .ok_or_else(|| parse_err(0, "empty input"))?;
+
+    let header = header
+        .strip_prefix("computation ")
+        .ok_or_else(|| parse_err(header_line_no, "expected `computation <name> root=%N {`"))?;
+    let mut parts = header.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| parse_err(header_line_no, "missing name"))?
+        .to_string();
+    let root_tok = parts
+        .next()
+        .and_then(|t| t.strip_prefix("root="))
+        .ok_or_else(|| parse_err(header_line_no, "missing root=%N"))?;
+    let root = parse_node_id(root_tok, header_line_no)?;
+
+    let mut nodes = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            break;
+        }
+        // `%id = opcode type [operands...] [name=..] [attrs=..]`
+        let (lhs, rhs) = line
+            .split_once('=')
+            .ok_or_else(|| parse_err(line_no, "missing `=`"))?;
+        let id = parse_node_id(lhs.trim(), line_no)?;
+        let mut toks = rhs.trim().split_whitespace();
+        let op_tok = toks
+            .next()
+            .ok_or_else(|| parse_err(line_no, "missing opcode"))?;
+        let opcode = Opcode::parse(op_tok)
+            .ok_or_else(|| parse_err(line_no, format!("unknown opcode `{op_tok}`")))?;
+        let type_tok = toks
+            .next()
+            .ok_or_else(|| parse_err(line_no, "missing type"))?;
+        let (dtype, shape, layout) = parse_type(type_tok, line_no)?;
+
+        let mut operands = Vec::new();
+        let mut name_field = String::new();
+        let mut attrs = NodeAttrs::default();
+        for tok in toks {
+            if let Some(rest) = tok.strip_prefix("name=") {
+                name_field = serde_json::from_str(rest)
+                    .map_err(|e| parse_err(line_no, format!("bad name: {e}")))?;
+            } else if let Some(rest) = tok.strip_prefix("attrs=") {
+                attrs = serde_json::from_str(rest)
+                    .map_err(|e| parse_err(line_no, format!("bad attrs: {e}")))?;
+            } else {
+                operands.push(parse_node_id(tok, line_no)?);
+            }
+        }
+        if id.index() != nodes.len() {
+            return Err(parse_err(
+                line_no,
+                format!("node ids must be dense and ordered; got {id}"),
+            ));
+        }
+        nodes.push(Node {
+            id,
+            opcode,
+            dtype,
+            shape,
+            layout,
+            operands,
+            attrs,
+            name: name_field,
+        });
+    }
+
+    Computation::from_parts(name, nodes, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::hashing::canonical_hash;
+
+    fn softmax_graph() -> Computation {
+        let mut b = GraphBuilder::new("softmax");
+        let x = b.parameter("x", Shape::matrix(4, 10), DType::F32);
+        let s = b.softmax(x);
+        b.finish(s)
+    }
+
+    #[test]
+    fn dump_contains_all_nodes() {
+        let c = softmax_graph();
+        let text = dump_computation(&c);
+        assert!(text.contains("computation softmax"));
+        for n in c.nodes() {
+            assert!(text.contains(&n.id.to_string()));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let c = softmax_graph();
+        let parsed = parse_computation(&dump_computation(&c)).unwrap();
+        assert_eq!(parsed.num_nodes(), c.num_nodes());
+        assert_eq!(parsed.root(), c.root());
+        assert_eq!(canonical_hash(&parsed), canonical_hash(&c));
+        assert_eq!(parsed.name(), "softmax");
+    }
+
+    #[test]
+    fn roundtrip_with_dot_and_conv() {
+        let mut b = GraphBuilder::new("mixed");
+        let x = b.parameter("x", Shape::new(vec![1, 8, 8, 4]), DType::F32);
+        let w = b.parameter("w", Shape::new(vec![3, 3, 4, 8]), DType::F32);
+        let y = b.convolution(x, w, crate::attrs::ConvAttrs::same_strided(3, 2));
+        let flat = b.reshape(y, Shape::matrix(1, 4 * 4 * 8));
+        let m = b.parameter("m", Shape::matrix(128, 16), DType::F32);
+        let d = b.dot(flat, m);
+        let c = b.finish(d);
+        let parsed = parse_computation(&dump_computation(&c)).unwrap();
+        assert_eq!(canonical_hash(&parsed), canonical_hash(&c));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_opcode() {
+        let text = "computation t root=%0 {\n  %0 = frobnicate f32[2]{0}\n}\n";
+        assert!(matches!(
+            parse_computation(text),
+            Err(HloError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_root() {
+        let text = "computation t root=%9 {\n  %0 = parameter f32[2]{0} name=\"x\"\n}\n";
+        assert!(matches!(
+            parse_computation(text),
+            Err(HloError::BadRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_scalar_type() {
+        let text = "computation t root=%0 {\n  %0 = constant f32[]{}\n}\n";
+        let c = parse_computation(text).unwrap();
+        assert!(c.node(NodeId(0)).shape.is_scalar());
+    }
+
+    #[test]
+    fn names_roundtrip_with_sanitization() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.parameter("weird name", Shape::vector(4), DType::F32);
+        let y = b.tanh(x);
+        let c = b.finish(y);
+        let parsed = parse_computation(&dump_computation(&c)).unwrap();
+        assert_eq!(parsed.node(NodeId(0)).name, "weird_name");
+    }
+}

@@ -1,0 +1,48 @@
+//! A micro deep-learning framework: dense 2-D tensors, reverse-mode
+//! autodiff, layers, losses, and optimizers.
+//!
+//! The Rust GNN ecosystem is thin, so this reproduction implements the
+//! training substrate from scratch. It is deliberately small — everything
+//! the paper's models need and nothing more:
+//!
+//! - [`Tensor`] — row-major 2-D `f32` storage,
+//! - [`Tape`] / [`Var`] — define-by-run autodiff with graph ops
+//!   (gather/segment sum/mean/max, row L2-normalization) needed by
+//!   GraphSAGE,
+//! - [`Linear`], [`Mlp`], [`Embedding`], [`LstmCell`] — layers,
+//! - [`mse_loss`], [`pairwise_rank_loss`] — the paper's two training
+//!   objectives (§4.2),
+//! - [`Sgd`], [`Adam`], [`clip_grad_norm`] — optimizers.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_nn::{Activation, Mlp, ParamStore, Tape, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "m", &[2, 8, 1], Activation::Tanh,
+//!                    Activation::Identity, &mut rng);
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::from_rows(&[&[0.5, -0.5]]));
+//! let y = mlp.forward(&mut tape, &store, x);
+//! assert_eq!(tape.value(y).shape(), (1, 1));
+//! ```
+
+mod layers;
+mod loss;
+mod optim;
+mod params;
+mod tape;
+mod tensor;
+
+pub use layers::{Activation, Embedding, Linear, LstmCell, LstmState, Mlp};
+pub use loss::{
+    grouped_pairwise_rank_loss, mse_loss, pairwise_rank_loss, weighted_mse_loss, RankPhi,
+};
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,850 @@
+//! Reverse-mode automatic differentiation on a tape.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a value on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+// Some op payloads (e.g. the scalar of `AddScalar`, segment counts) are
+// needed only at forward time but kept for debuggability of recorded tapes.
+#[allow(dead_code)]
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddRow(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    Ln(Var),
+    Square(Var),
+    Sqrt(Var),
+    Softplus(Var),
+    ConcatCols(Vec<Var>),
+    SliceCols(Var, usize, usize),
+    GatherRows(Var, Rc<Vec<usize>>),
+    SegmentSum(Var, Rc<Vec<usize>>, usize),
+    SegmentMean(Var, Rc<Vec<usize>>, usize),
+    /// Per-(segment, column) argmax row recorded at forward time.
+    SegmentMax(Var, Rc<Vec<usize>>, usize, Rc<Vec<i64>>),
+    L2NormRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    MulConst(Var, Rc<Tensor>),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A computation tape: builds a forward graph op by op and computes
+/// gradients for every [`ParamStore`] parameter it touched.
+///
+/// A fresh tape is created per training step; tapes are cheap (values are
+/// stored densely, freed on drop).
+///
+/// # Example
+///
+/// ```
+/// use tpu_nn::{ParamStore, Tape, Tensor};
+/// let mut store = ParamStore::new();
+/// let w = store.register("w", Tensor::from_rows(&[&[2.0]]));
+///
+/// let mut tape = Tape::new();
+/// let x = tape.input(Tensor::scalar(3.0));
+/// let wv = tape.param(&store, w);
+/// let y = tape.mul(x, wv);           // y = 3w
+/// let loss = tape.square(y);         // (3w)^2, dL/dw = 18w = 36
+/// tape.backward(loss, &mut store);
+/// assert_eq!(store.grad(w).item(), 36.0);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        let v = Var(self.nodes.len());
+        self.nodes.push(Node { op, value });
+        v
+    }
+
+    /// Record a constant input (no gradient flows into it).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(Op::Input, t)
+    }
+
+    /// Record a parameter value; [`Tape::backward`] will accumulate its
+    /// gradient into the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Elementwise sum of same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Broadcast row add: `a [n×d] + b [1×d]` (bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1×d` with matching `d`.
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(br, 1, "add_row rhs must have one row");
+        assert_eq!(ac, bc, "add_row column mismatch");
+        let mut out = self.value(a).clone();
+        for r in 0..ar {
+            for c in 0..ac {
+                let v = out.get(r, c) + self.value(b).get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(Op::AddRow(a, b), out)
+    }
+
+    /// Scalar multiple `s · a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x * s);
+        self.push(Op::Scale(a, s), v)
+    }
+
+    /// Scalar offset `a + s`.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        self.push(Op::AddScalar(a, s), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Elementwise `e^x`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Elementwise natural log. Inputs must be positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push(Op::Ln(a), v)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(Op::Square(a), v)
+    }
+
+    /// Elementwise square root. Inputs must be non-negative.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::sqrt);
+        self.push(Op::Sqrt(a), v)
+    }
+
+    /// Numerically stable `softplus(x) = ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self
+            .value(a)
+            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
+        self.push(Op::Softplus(a), v)
+    }
+
+    /// Concatenate along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand row counts differ or the list is empty.
+    pub fn concat_cols(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "concat of nothing");
+        let rows = self.value(xs[0]).rows();
+        let total: usize = xs.iter().map(|&x| self.value(x).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &x in xs {
+            let t = self.value(x);
+            assert_eq!(t.rows(), rows, "concat row mismatch");
+            for r in 0..rows {
+                out.row_mut(r)[off..off + t.cols()].copy_from_slice(t.row(r));
+            }
+            off += t.cols();
+        }
+        self.push(Op::ConcatCols(xs.to_vec()), out)
+    }
+
+    /// Columns `[start, end)` of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let t = self.value(a);
+        assert!(start < end && end <= t.cols(), "bad column range");
+        let mut out = Tensor::zeros(t.rows(), end - start);
+        for r in 0..t.rows() {
+            out.row_mut(r).copy_from_slice(&t.row(r)[start..end]);
+        }
+        self.push(Op::SliceCols(a, start, end), out)
+    }
+
+    /// Gather rows of `a` by index; `out[r] = a[idx[r]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+        let t = self.value(a);
+        let mut out = Tensor::zeros(idx.len(), t.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < t.rows(), "gather index out of range");
+            out.row_mut(r).copy_from_slice(t.row(i));
+        }
+        self.push(Op::GatherRows(a, idx), out)
+    }
+
+    /// Sum rows of `a` into `n_segments` buckets: `out[seg[r]] += a[r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != a.rows()` or a segment id is out of range.
+    pub fn segment_sum(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(seg.len(), t.rows(), "segment id per row required");
+        let mut out = Tensor::zeros(n_segments, t.cols());
+        for (r, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments, "segment id out of range");
+            let row = t.row(r).to_vec();
+            for (o, v) in out.row_mut(s).iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        self.push(Op::SegmentSum(a, seg, n_segments), out)
+    }
+
+    /// Mean rows of `a` per segment (empty segments give zero rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Tape::segment_sum`].
+    pub fn segment_mean(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(seg.len(), t.rows());
+        let mut out = Tensor::zeros(n_segments, t.cols());
+        let mut counts = vec![0usize; n_segments];
+        for (r, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments);
+            counts[s] += 1;
+            let row = t.row(r).to_vec();
+            for (o, v) in out.row_mut(s).iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for (s, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                for o in out.row_mut(s) {
+                    *o /= cnt as f32;
+                }
+            }
+        }
+        self.push(Op::SegmentMean(a, seg, n_segments), out)
+    }
+
+    /// Columnwise max per segment (empty segments give zero rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Tape::segment_sum`].
+    pub fn segment_max(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(seg.len(), t.rows());
+        let cols = t.cols();
+        let mut out = Tensor::full(n_segments, cols, f32::NEG_INFINITY);
+        let mut argmax = vec![-1i64; n_segments * cols];
+        for (r, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments);
+            for c in 0..cols {
+                let v = t.get(r, c);
+                if v > out.get(s, c) {
+                    out.set(s, c, v);
+                    argmax[s * cols + c] = r as i64;
+                }
+            }
+        }
+        // Empty segments: replace -inf with 0.
+        for s in 0..n_segments {
+            for c in 0..cols {
+                if argmax[s * cols + c] < 0 {
+                    out.set(s, c, 0.0);
+                }
+            }
+        }
+        self.push(Op::SegmentMax(a, seg, n_segments, Rc::new(argmax)), out)
+    }
+
+    /// L2-normalize each row (`x / max(‖x‖₂, ε)`), Eq. 1's `l2`.
+    pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let mut out = t.clone();
+        for r in 0..t.rows() {
+            let norm = t.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            let n = norm.max(L2_EPS);
+            for v in out.row_mut(r) {
+                *v /= n;
+            }
+        }
+        self.push(Op::L2NormRows(a), out)
+    }
+
+    /// Sum of all elements → `1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements → `1×1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Elementwise multiply by a constant tensor (no gradient to the
+    /// constant): masks, dropout, loss weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_const(&mut self, a: Var, c: Rc<Tensor>) -> Var {
+        let v = self.value(a).zip(&c, |x, y| x * y);
+        self.push(Op::MulConst(a, c), v)
+    }
+
+    /// Run reverse-mode differentiation from `loss` (must be `1×1`),
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(id) => store.grad_mut(*id).axpy(1.0, &g),
+                Op::MatMul(a, b) => {
+                    let da = g.matmul(&self.value(*b).transpose());
+                    let db = self.value(*a).transpose().matmul(&g);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.zip(self.value(*b), |x, y| x * y);
+                    let db = g.zip(self.value(*a), |x, y| x * y);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::AddRow(a, b) => {
+                    let bc = self.value(*b).cols();
+                    let mut db = Tensor::zeros(1, bc);
+                    for r in 0..g.rows() {
+                        for c in 0..bc {
+                            let v = db.get(0, c) + g.get(r, c);
+                            db.set(0, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, *a, g.map(|x| x * s)),
+                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                Op::Relu(a) => {
+                    let da = g.zip(self.value(*a), |gr, x| if x > 0.0 { gr } else { 0.0 });
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Tanh(a) => {
+                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * (1.0 - y * y));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * y * (1.0 - y));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Exp(a) => {
+                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * y);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Ln(a) => {
+                    let da = g.zip(self.value(*a), |gr, x| gr / x);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Square(a) => {
+                    let da = g.zip(self.value(*a), |gr, x| gr * 2.0 * x);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Sqrt(a) => {
+                    let da = g.zip(&self.nodes[i].value, |gr, y| gr / (2.0 * y.max(1e-12)));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Softplus(a) => {
+                    let da = g.zip(self.value(*a), |gr, x| gr / (1.0 + (-x).exp()));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::ConcatCols(xs) => {
+                    let mut off = 0;
+                    for &x in xs {
+                        let cols = self.value(x).cols();
+                        let mut dx = Tensor::zeros(g.rows(), cols);
+                        for r in 0..g.rows() {
+                            dx.row_mut(r).copy_from_slice(&g.row(r)[off..off + cols]);
+                        }
+                        accumulate(&mut grads, x, dx);
+                        off += cols;
+                    }
+                }
+                Op::SliceCols(a, start, end) => {
+                    let t = self.value(*a);
+                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    for r in 0..g.rows() {
+                        da.row_mut(r)[*start..*end].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::GatherRows(a, idx) => {
+                    let t = self.value(*a);
+                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &src) in idx.iter().enumerate() {
+                        let grow = g.row(r).to_vec();
+                        for (o, v) in da.row_mut(src).iter_mut().zip(grow) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::SegmentSum(a, seg, _) => {
+                    let t = self.value(*a);
+                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &s) in seg.iter().enumerate() {
+                        da.row_mut(r).copy_from_slice(g.row(s));
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::SegmentMean(a, seg, n) => {
+                    let mut counts = vec![0f32; *n];
+                    for &s in seg.iter() {
+                        counts[s] += 1.0;
+                    }
+                    let t = self.value(*a);
+                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &s) in seg.iter().enumerate() {
+                        let inv = 1.0 / counts[s];
+                        for (o, &v) in da.row_mut(r).iter_mut().zip(g.row(s)) {
+                            *o = v * inv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::SegmentMax(a, _, n, argmax) => {
+                    let t = self.value(*a);
+                    let cols = t.cols();
+                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    for s in 0..*n {
+                        for c in 0..cols {
+                            let r = argmax[s * cols + c];
+                            if r >= 0 {
+                                let v = da.get(r as usize, c) + g.get(s, c);
+                                da.set(r as usize, c, v);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::L2NormRows(a) => {
+                    let x = self.value(*a);
+                    let y = &self.nodes[i].value;
+                    let mut da = Tensor::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        let norm = x.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+                        let n = norm.max(L2_EPS);
+                        let dot: f32 = y
+                            .row(r)
+                            .iter()
+                            .zip(g.row(r))
+                            .map(|(&yv, &gv)| yv * gv)
+                            .sum();
+                        for c in 0..x.cols() {
+                            // Treat the ε-clamped region as constant-norm.
+                            let proj = if norm > L2_EPS { y.get(r, c) * dot } else { 0.0 };
+                            da.set(r, c, (g.get(r, c) - proj) / n);
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::SumAll(a) => {
+                    let t = self.value(*a);
+                    let da = Tensor::full(t.rows(), t.cols(), g.item());
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::MeanAll(a) => {
+                    let t = self.value(*a);
+                    let da = Tensor::full(t.rows(), t.cols(), g.item() / t.len() as f32);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::MulConst(a, c) => {
+                    let da = g.zip(c, |x, y| x * y);
+                    accumulate(&mut grads, *a, da);
+                }
+            }
+        }
+    }
+}
+
+const L2_EPS: f32 = 1e-6;
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.axpy(1.0, &g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar function of one
+    /// parameter tensor.
+    fn grad_check<F>(init: Tensor, f: F, tol: f32)
+    where
+        F: Fn(&mut Tape, Var) -> Var,
+    {
+        let mut store = ParamStore::new();
+        let p = store.register("p", init.clone());
+
+        // Analytical gradient.
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let loss = f(&mut tape, pv);
+        tape.backward(loss, &mut store);
+        let analytic = store.grad(p).clone();
+
+        // Numerical gradient.
+        let eps = 1e-3f32;
+        for r in 0..init.rows() {
+            for c in 0..init.cols() {
+                let eval = |delta: f32, store: &mut ParamStore| -> f32 {
+                    let old = store.value(p).get(r, c);
+                    store.value_mut(p).set(r, c, old + delta);
+                    let mut tape = Tape::new();
+                    let pv = tape.param(store, p);
+                    let loss = f(&mut tape, pv);
+                    let out = tape.value(loss).item();
+                    store.value_mut(p).set(r, c, old);
+                    out
+                };
+                let plus = eval(eps, &mut store);
+                let minus = eval(-eps, &mut store);
+                let numeric = (plus - minus) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic={a} numeric={numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let init = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.3]]);
+        grad_check(
+            init,
+            |t, p| {
+                let x = t.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]));
+                let y = t.matmul(x, p);
+                let sq = t.square(y);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        let init = Tensor::from_rows(&[&[0.5, -1.2, 2.0, 0.1]]);
+        grad_check(
+            init.clone(),
+            |t, p| {
+                let a = t.tanh(p);
+                let b = t.sigmoid(a);
+                let c = t.softplus(b);
+                t.sum_all(c)
+            },
+            1e-2,
+        );
+        grad_check(
+            init,
+            |t, p| {
+                let a = t.exp(p);
+                let b = t.sqrt(a);
+                let c = t.ln(b);
+                t.mean_all(c)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_relu() {
+        // Away from the kink.
+        let init = Tensor::from_rows(&[&[0.5, -1.2, 2.0]]);
+        grad_check(
+            init,
+            |t, p| {
+                let a = t.relu(p);
+                let b = t.square(a);
+                t.sum_all(b)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        let init = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        grad_check(
+            init,
+            |t, p| {
+                let c = t.concat_cols(&[p, p]);
+                let s = t.slice_cols(c, 1, 3);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_and_segments() {
+        let init = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let idx = Rc::new(vec![2usize, 0, 2, 1]);
+        let seg = Rc::new(vec![0usize, 1, 1, 0]);
+        grad_check(
+            init.clone(),
+            |t, p| {
+                let g = t.gather_rows(p, idx.clone());
+                let s = t.segment_sum(g, seg.clone(), 2);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+        grad_check(
+            init.clone(),
+            |t, p| {
+                let s = t.segment_mean(p, Rc::new(vec![0, 0, 1]), 2);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+        grad_check(
+            init,
+            |t, p| {
+                let s = t.segment_max(p, Rc::new(vec![0, 0, 1]), 2);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_l2_normalize() {
+        let init = Tensor::from_rows(&[&[3.0, 4.0], &[0.5, -0.2]]);
+        grad_check(
+            init,
+            |t, p| {
+                let n = t.l2_normalize_rows(p);
+                let w = t.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]));
+                let m = t.mul(n, w);
+                t.sum_all(m)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        let init = Tensor::from_rows(&[&[0.1, -0.3, 0.7]]);
+        grad_check(
+            init,
+            |t, p| {
+                let x = t.input(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+                let y = t.add_row(x, p);
+                let sq = t.square(y);
+                t.mean_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_const_mask() {
+        let init = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mask = Rc::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        grad_check(
+            init,
+            |t, p| {
+                let m = t.mul_const(p, mask.clone());
+                let sq = t.square(m);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_accumulates_for_reused_vars() {
+        // p used twice: gradient must be the sum of both paths.
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let sq = tape.mul(pv, pv); // p^2: d/dp = 2p = 6
+        tape.backward(sq, &mut store);
+        assert!((store.grad(p).item() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::scalar(1.0));
+        for _ in 0..3 {
+            let mut tape = Tape::new();
+            let pv = tape.param(&store, p);
+            let d = tape.scale(pv, 2.0);
+            tape.backward(d, &mut store);
+        }
+        assert_eq!(store.grad(p).item(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_nonscalar() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Tensor::ones(2, 2));
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        tape.backward(pv, &mut store);
+    }
+
+    #[test]
+    fn segment_max_empty_segment_is_zero() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let m = tape.segment_max(x, Rc::new(vec![0, 0]), 2);
+        assert_eq!(tape.value(m).get(1, 0), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for tensor algebra.
+
+use proptest::prelude::*;
+use tpu_nn::Tensor;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_noop(a in arb_tensor(4, 4)) {
+        let mut eye = Tensor::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        let out = a.matmul(&eye);
+        for (x, y) in out.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in arb_tensor(3, 4),
+                                        b in arb_tensor(4, 2),
+                                        c in arb_tensor(4, 2)) {
+        // a(b + c) == ab + ac
+        let bc = b.zip(&c, |x, y| x + y);
+        let lhs = a.matmul(&bc);
+        let rhs = {
+            let ab = a.matmul(&b);
+            let ac = a.matmul(&c);
+            ab.zip(&ac, |x, y| x + y)
+        };
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_respects_matmul(a in arb_tensor(3, 5), b in arb_tensor(5, 2)) {
+        // (ab)^T == b^T a^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn sum_of_axpy_is_linear(a in arb_tensor(4, 4), b in arb_tensor(4, 4),
+                             alpha in -5.0f32..5.0) {
+        let mut acc = a.clone();
+        acc.axpy(alpha, &b);
+        let expected = a.sum() + alpha * b.sum();
+        prop_assert!((acc.sum() - expected).abs() <= 1e-3 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn sq_norm_nonnegative_and_zero_only_for_zero(a in arb_tensor(3, 3)) {
+        prop_assert!(a.sq_norm() >= 0.0);
+        if a.sq_norm() == 0.0 {
+            prop_assert!(a.data().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn map_then_map_composes(a in arb_tensor(2, 6)) {
+        let one = a.map(|x| x * 2.0).map(|x| x + 1.0);
+        let fused = a.map(|x| x * 2.0 + 1.0);
+        prop_assert_eq!(one.data(), fused.data());
+    }
+}

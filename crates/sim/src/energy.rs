@@ -1,0 +1,198 @@
+//! Energy estimation for kernels and programs.
+//!
+//! The paper's footnote 2 notes that autotuners can optimize "execution
+//! time, throughput, or power consumption". This module prices a kernel's
+//! energy from the same activity counts the timing model uses, so any
+//! `CostModel`-style search can minimize joules instead of nanoseconds.
+
+use crate::config::TpuConfig;
+use crate::cost::{conv_as_dot, dot_problem, node_compute_cycles};
+use crate::kernel_exec::analyze_kernel;
+use tpu_hlo::{FusedProgram, Kernel, OpCategory};
+
+/// Energy pricing constants (picojoules), loosely scaled to published
+/// accelerator numbers: MACs are cheap, HBM traffic is ~two orders of
+/// magnitude more expensive per byte, and idle/leakage accrues with time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// pJ per MXU multiply-accumulate.
+    pub pj_per_mac: f64,
+    /// pJ per vector-unit lane-op.
+    pub pj_per_vpu_op: f64,
+    /// pJ per byte moved to/from HBM.
+    pub pj_per_hbm_byte: f64,
+    /// pJ per byte moved within VMEM.
+    pub pj_per_vmem_byte: f64,
+    /// Static (leakage + clock) power in watts, charged per elapsed time.
+    pub static_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pj_per_mac: 0.25,
+            pj_per_vpu_op: 0.8,
+            pj_per_hbm_byte: 15.0,
+            pj_per_vmem_byte: 1.2,
+            static_watts: 35.0,
+        }
+    }
+}
+
+/// Energy breakdown for one kernel execution, in microjoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEnergy {
+    /// MXU arithmetic energy.
+    pub mxu_uj: f64,
+    /// Vector-unit arithmetic energy.
+    pub vpu_uj: f64,
+    /// HBM traffic energy.
+    pub hbm_uj: f64,
+    /// Static/leakage energy over the kernel's runtime.
+    pub static_uj: f64,
+}
+
+impl KernelEnergy {
+    /// Total energy, µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.mxu_uj + self.vpu_uj + self.hbm_uj + self.static_uj
+    }
+}
+
+/// Estimate the energy of one kernel execution.
+pub fn kernel_energy(k: &Kernel, cfg: &TpuConfig, em: &EnergyModel) -> KernelEnergy {
+    let c = &k.computation;
+    let mut macs = 0.0f64;
+    let mut vpu_ops = 0.0f64;
+    for n in c.nodes() {
+        match n.opcode.category() {
+            OpCategory::Dot => {
+                let p = dot_problem(c, n);
+                macs += (p.b * p.m * p.k * p.n) as f64;
+            }
+            OpCategory::Convolution => {
+                let p = conv_as_dot(c, n);
+                macs += (p.b * p.m * p.k * p.n) as f64;
+            }
+            _ => {
+                // Cycle estimate × lane width approximates lane-ops.
+                vpu_ops += node_compute_cycles(c, n, cfg) * cfg.vpu_width();
+            }
+        }
+    }
+    let timing = analyze_kernel(k, cfg);
+    // HBM bytes implied by the memory time (inverse of the bandwidth
+    // model, net of per-tile latency).
+    let dma_ns = timing.n_tiles as f64 * 2.0 * cfg.dma_latency_ns;
+    let traffic_bytes = (timing.memory_ns - dma_ns).max(0.0) * cfg.hbm_bytes_per_ns();
+
+    KernelEnergy {
+        mxu_uj: macs * em.pj_per_mac * 1e-6,
+        vpu_uj: vpu_ops * em.pj_per_vpu_op * 1e-6,
+        hbm_uj: traffic_bytes * em.pj_per_hbm_byte * 1e-6,
+        // W × ns = 10⁻⁹ J = 10⁻³ µJ.
+        static_uj: em.static_watts * timing.total_ns * 1e-3,
+    }
+}
+
+/// Total program energy, µJ (kernels run back to back, §3.3).
+pub fn program_energy_uj(p: &FusedProgram, cfg: &TpuConfig, em: &EnergyModel) -> f64 {
+    p.kernels
+        .iter()
+        .map(|k| kernel_energy(k, cfg, em).total_uj())
+        .sum()
+}
+
+/// Average power of a program run, watts.
+pub fn program_power_watts(p: &FusedProgram, cfg: &TpuConfig, em: &EnergyModel) -> f64 {
+    let energy_uj = program_energy_uj(p, cfg, em);
+    let time_ns: f64 = p
+        .kernels
+        .iter()
+        .map(|k| crate::kernel_exec::kernel_time_ns(k, cfg))
+        .sum();
+    if time_ns == 0.0 {
+        return 0.0;
+    }
+    // µJ / ns = kW; convert to W.
+    energy_uj / time_ns * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::default()
+    }
+
+    fn dot_kernel(n: usize) -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(n, n), DType::F32);
+        let w = b.parameter("w", Shape::matrix(n, n), DType::F32);
+        let d = b.dot(x, w);
+        Kernel::new(b.finish(d))
+    }
+
+    fn ew_kernel(n: usize) -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(n, n), DType::F32);
+        let t = b.tanh(x);
+        Kernel::new(b.finish(t))
+    }
+
+    #[test]
+    fn energy_positive_and_additive() {
+        let em = EnergyModel::default();
+        let e = kernel_energy(&dot_kernel(512), &cfg(), &em);
+        assert!(e.mxu_uj > 0.0);
+        assert!(e.hbm_uj > 0.0);
+        assert!(e.static_uj > 0.0);
+        assert!((e.total_uj() - (e.mxu_uj + e.vpu_uj + e.hbm_uj + e.static_uj)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_kernels_cost_more_energy() {
+        let em = EnergyModel::default();
+        let small = kernel_energy(&dot_kernel(128), &cfg(), &em).total_uj();
+        let big = kernel_energy(&dot_kernel(1024), &cfg(), &em).total_uj();
+        assert!(big > small * 10.0, "small={small} big={big}");
+    }
+
+    #[test]
+    fn energy_mix_reflects_kernel_character() {
+        let em = EnergyModel::default();
+        // A matmul spends real energy in the MXU; an elementwise kernel
+        // spends none there and is HBM-dominated among dynamic terms.
+        let d = kernel_energy(&dot_kernel(2048), &cfg(), &em);
+        let dynamic = d.mxu_uj + d.vpu_uj + d.hbm_uj;
+        assert!(d.mxu_uj > 0.05 * dynamic, "{d:?}");
+        let e = kernel_energy(&ew_kernel(2048), &cfg(), &em);
+        assert_eq!(e.mxu_uj, 0.0);
+        assert!(e.hbm_uj > e.vpu_uj, "{e:?}");
+    }
+
+    #[test]
+    fn fusion_saves_energy() {
+        // Fused tanh∘exp avoids an HBM round trip and therefore joules.
+        let em = EnergyModel::default();
+        let mut b = GraphBuilder::new("fused");
+        let x = b.parameter("x", Shape::matrix(2048, 2048), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        let fused = Kernel::new(b.finish(e));
+        let fused_uj = kernel_energy(&fused, &cfg(), &em).total_uj();
+        let split_uj = kernel_energy(&ew_kernel(2048), &cfg(), &em).total_uj() * 2.0;
+        assert!(fused_uj < split_uj * 0.8, "fused={fused_uj} split={split_uj}");
+    }
+
+    #[test]
+    fn program_power_in_plausible_range() {
+        let em = EnergyModel::default();
+        let p = FusedProgram::new("p", vec![dot_kernel(1024), ew_kernel(1024)]);
+        let watts = program_power_watts(&p, &cfg(), &em);
+        // An accelerator core draws tens to a couple hundred watts.
+        assert!(watts > 10.0 && watts < 500.0, "watts={watts}");
+    }
+}
