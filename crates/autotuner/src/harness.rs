@@ -2,9 +2,9 @@
 //! budget, with and without the learned performance model.
 
 use crate::sa::{simulated_annealing, SaConfig};
-use std::collections::HashMap;
 use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpace};
-use tpu_hlo::{kernel_hash, FusedProgram, Program};
+use tpu_hlo::{FusedProgram, Program};
+use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache};
 use tpu_sim::TpuDevice;
 
 /// Where the search starts (§6.3 runs the autotuner "in two modes").
@@ -49,6 +49,12 @@ pub struct TunedConfig {
     pub true_ns: f64,
     /// Hardware evaluations spent.
     pub hw_evals: usize,
+    /// Fresh model evaluations during the model-guided phase (cache
+    /// misses); 0 for hardware-only runs.
+    pub model_evals: u64,
+    /// Per-kernel predictions served from the cache; 0 for hardware-only
+    /// runs.
+    pub cache_hits: u64,
 }
 
 /// Evaluate a config's program runtime on the device (one noisy run plus
@@ -124,39 +130,64 @@ pub fn autotune_hardware_only(
         true_ns: device.true_program_time(&fused),
         config: best,
         hw_evals,
+        model_evals: 0,
+        cache_hits: 0,
     }
+}
+
+/// Model-guided autotuning with a closure cost model (convenience wrapper
+/// over [`autotune_with_cost_model`] with a private per-run cache).
+///
+/// `kernel_cost` predicts one kernel's runtime in ns.
+pub fn autotune_with_model<F>(
+    program: &Program,
+    device: &TpuDevice,
+    kernel_cost: F,
+    mode: StartMode,
+    budgets: &Budgets,
+    seed: u64,
+) -> TunedConfig
+where
+    F: Fn(&tpu_hlo::Kernel) -> f64,
+{
+    let model = FnCostModel::new("closure", move |k: &tpu_hlo::Kernel| Some(kernel_cost(k)));
+    let cache = PredictionCache::new();
+    autotune_with_cost_model(program, device, &model, &cache, mode, budgets, seed)
 }
 
 /// Model-guided: SA on the cost model for `model_steps` (no hardware),
 /// then the top-k model-ranked configs are measured on hardware within the
 /// budget and the best measured one wins (§6.3's protocol).
 ///
-/// `kernel_cost` predicts one kernel's runtime in ns; per-kernel
-/// predictions are cached across configurations by canonical kernel hash,
-/// which is what makes the model evaluations "cheap" relative to hardware.
-pub fn autotune_with_model<F>(
+/// Per-kernel predictions are served through `cache` (keyed by canonical
+/// kernel hash), which is what makes the model evaluations "cheap" relative
+/// to hardware: SA neighbourhoods share most kernels between configs.
+/// Passing the same cache across runs on the same program carries
+/// predictions over — revisiting a configuration costs zero fresh model
+/// evaluations. A kernel the model cannot score ([`CostModel`] returning
+/// `None`) makes its configs rank last (infinite predicted cost).
+pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     program: &Program,
     device: &TpuDevice,
-    mut kernel_cost: F,
+    model: &M,
+    cache: &PredictionCache,
     mode: StartMode,
     budgets: &Budgets,
     seed: u64,
-) -> TunedConfig
-where
-    F: FnMut(&tpu_hlo::Kernel) -> f64,
-{
+) -> TunedConfig {
     let (space, _) = default_space_and_config(&program.computation);
     let start = start_config(program, &space, mode, seed);
 
     // Phase 1: model-guided annealing on the CPU.
-    let mut cache: HashMap<u64, f64> = HashMap::new();
-    let mut predict_program = |fused: &FusedProgram| -> f64 {
+    let stats_before = cache.stats();
+    let predict_program = |fused: &FusedProgram| -> f64 {
         fused
             .kernels
             .iter()
             .map(|k| {
-                let h = kernel_hash(k);
-                *cache.entry(h).or_insert_with(|| kernel_cost(k))
+                cache
+                    .get_or_compute(k, || model.predict_kernel_ns(k))
+                    .unwrap_or(f64::INFINITY)
             })
             .sum()
     };
@@ -174,6 +205,7 @@ where
             ..Default::default()
         },
     );
+    let stats_after = cache.stats();
 
     // Phase 2: measure the model's top configs on real hardware, best
     // measured wins. Include the start config as a safety net, mirroring
@@ -191,7 +223,7 @@ where
         match hw_eval(program, &space, &cfg, device, budgets.hardware_ns) {
             Some(t) => {
                 hw_evals += 1;
-                if best.as_ref().map_or(true, |(_, bt)| t < *bt) {
+                if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
                     best = Some((cfg, t));
                 }
             }
@@ -204,6 +236,8 @@ where
         true_ns: device.true_program_time(&fused),
         config: chosen,
         hw_evals,
+        model_evals: stats_after.misses - stats_before.misses,
+        cache_hits: stats_after.hits - stats_before.hits,
     }
 }
 

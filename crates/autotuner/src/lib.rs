@@ -10,8 +10,10 @@
 //! - [`simulated_annealing`] — the annealer, generic over any objective,
 //! - [`autotune_hardware_only`] — the baseline autotuner under a hardware
 //!   budget,
-//! - [`autotune_with_model`] — model-guided search + top-k hardware
-//!   re-ranking (the §6.3 protocol),
+//! - [`autotune_with_model`] / [`autotune_with_cost_model`] — model-guided
+//!   search + top-k hardware re-ranking (the §6.3 protocol), with
+//!   per-kernel predictions served through a shared
+//!   [`tpu_learned_cost::PredictionCache`],
 //! - [`random_configs`] — the dataset-generation random search (§5).
 //!
 //! # Example
@@ -38,8 +40,8 @@ mod random_search;
 mod sa;
 
 pub use harness::{
-    autotune_hardware_only, autotune_with_model, speedup_over_default, start_config, Budgets,
-    StartMode, TunedConfig,
+    autotune_hardware_only, autotune_with_cost_model, autotune_with_model, speedup_over_default,
+    start_config, Budgets, StartMode, TunedConfig,
 };
 pub use baselines::{hill_climb, random_search, SearchResult};
 pub use random_search::random_configs;

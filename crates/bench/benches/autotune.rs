@@ -1,0 +1,120 @@
+//! Benchmark: the prediction cache's effect on model-guided autotuning.
+//!
+//! Runs the §6.3 protocol (simulated annealing against the GNN, then top-k
+//! hardware re-measurement) twice over the same program and budgets: once
+//! with a zero-capacity cache (every kernel evaluation is a fresh GNN
+//! forward pass) and once with the shared [`PredictionCache`]. SA
+//! neighbourhoods reuse most kernels between configurations, so the cached
+//! run should be well over 2× faster; the headline lines printed at the end
+//! report the measured speedup and hit rate.
+//!
+//! ```text
+//! cargo bench -p tpu-bench --bench autotune
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use tpu_autotuner::{autotune_with_cost_model, Budgets, StartMode, TunedConfig};
+use tpu_hlo::{DType, GraphBuilder, Program, Shape};
+use tpu_learned_cost::{GnnConfig, GnnModel, PredictionCache};
+use tpu_sim::TpuDevice;
+
+/// A program with enough fusion decisions for SA to explore.
+fn tunable_program() -> Program {
+    let mut b = GraphBuilder::new("main");
+    let x = b.parameter("x", Shape::matrix(512, 512), DType::F32);
+    let w = b.parameter("w", Shape::matrix(512, 512), DType::F32);
+    let mut v = x;
+    for i in 0..4 {
+        let t = b.tanh(v);
+        let e = b.exp(t);
+        let s = b.add(t, e);
+        v = if i % 2 == 1 { b.dot(s, w) } else { s };
+    }
+    let r = b.reduce(v, vec![1]);
+    let t = b.tanh(r);
+    Program::new("bench-tunable", b.finish(t))
+}
+
+fn budgets() -> Budgets {
+    Budgets {
+        hardware_ns: 30e9,
+        model_steps: 300,
+        best_known_ns: 60e9,
+        top_k: 5,
+    }
+}
+
+fn run(program: &Program, gnn: &GnnModel, cache: &PredictionCache) -> TunedConfig {
+    let device = TpuDevice::new(11);
+    autotune_with_cost_model(
+        program,
+        &device,
+        gnn,
+        cache,
+        StartMode::Default,
+        &budgets(),
+        0,
+    )
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let program = tunable_program();
+    let gnn = GnnModel::new(GnnConfig::default());
+
+    let mut group = c.benchmark_group("model_guided_autotune");
+    group.sample_size(10);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let cache = PredictionCache::with_capacity(0);
+            black_box(run(&program, &gnn, &cache))
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let cache = PredictionCache::new();
+            black_box(run(&program, &gnn, &cache))
+        })
+    });
+    group.finish();
+
+    // Headline numbers: one timed run each, identical search, plus stats.
+    let t0 = Instant::now();
+    let uncached_cache = PredictionCache::with_capacity(0);
+    let uncached = run(&program, &gnn, &uncached_cache);
+    let uncached_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let cache = PredictionCache::new();
+    let cached = run(&program, &gnn, &cache);
+    let cached_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        uncached.config, cached.config,
+        "caching must not change the search outcome"
+    );
+    let stats = cache.stats();
+    println!(
+        "\nmodel-guided tuning wall-clock: uncached {:.3} s, cached {:.3} s  ({:.1}x speedup)",
+        uncached_s,
+        cached_s,
+        uncached_s / cached_s
+    );
+    println!(
+        "prediction cache: {} hits / {} lookups ({:.1}% hit rate), {} distinct kernels",
+        stats.hits,
+        stats.lookups(),
+        100.0 * stats.hit_rate(),
+        stats.entries
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_autotune
+}
+criterion_main!(benches);

@@ -14,7 +14,7 @@ use tpu_bench::{
 use tpu_dataset::{build_fusion_dataset, Corpus, FusionDataset, KernelExample, Split};
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    predict_log_ns, prepare, train, GnnModel, KernelModel, LstmModel, Prepared,
+    prepare, train, BatchedPredictor, GnnModel, KernelModel, LstmModel, Prepared,
 };
 use tpu_sim::TpuConfig;
 
@@ -189,11 +189,13 @@ fn run_split(
         }
         let prepared: Vec<Prepared> =
             prepare(&fusion_samples(&scored.iter().map(|(e, _)| *e).collect::<Vec<_>>()));
-        let ours: Vec<f64> = predict_log_ns(&gnn, &prepared)
+        let ours: Vec<f64> = BatchedPredictor::new(&gnn)
+            .predict_log_ns(&prepared)
             .into_iter()
             .map(f64::exp)
             .collect();
-        let lstm_pred: Vec<f64> = predict_log_ns(&lstm, &prepared)
+        let lstm_pred: Vec<f64> = BatchedPredictor::new(&lstm)
+            .predict_log_ns(&prepared)
             .into_iter()
             .map(f64::exp)
             .collect();

@@ -11,7 +11,7 @@ use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, Scale};
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    predict_log_ns, prepare, train, GnnConfig, GnnModel, KernelModel, LstmModel, Prepared,
+    prepare, train, BatchedPredictor, GnnConfig, GnnModel, KernelModel, LstmModel, Prepared,
     Reduction, TaskLoss, TrainConfig,
 };
 
@@ -19,10 +19,12 @@ fn test_medians<M: KernelModel>(
     model: &M,
     by_program: &[(String, Vec<Prepared>, Vec<f64>)],
 ) -> (f64, f64) {
+    let predictor = BatchedPredictor::new(model);
     let mut mapes = Vec::new();
     let mut taus = Vec::new();
     for (_, prepared, targets) in by_program {
-        let preds: Vec<f64> = predict_log_ns(model, prepared)
+        let preds: Vec<f64> = predictor
+            .predict_log_ns(prepared)
             .into_iter()
             .map(f64::exp)
             .collect();

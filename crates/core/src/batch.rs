@@ -1,6 +1,7 @@
 //! Dataset samples, pre-featurized kernels, and graph batching.
 
 use crate::features::{kernel_features, FEATURE_DIM};
+use rayon::prelude::*;
 use tpu_hlo::Kernel;
 use tpu_nn::Tensor;
 
@@ -59,8 +60,21 @@ pub struct Prepared {
 impl Prepared {
     /// Featurize a sample.
     pub fn from_sample(s: &Sample) -> Prepared {
-        let (opcode_ids, features) = kernel_features(&s.kernel);
-        let adj = s.kernel.computation.adjacency();
+        let mut p = Prepared::from_kernel(&s.kernel);
+        p.runtime_ns = s.runtime_ns;
+        p.group = s.group;
+        p
+    }
+
+    /// Featurize a bare kernel (no measured target; its own group).
+    ///
+    /// This is the inference-path entry point: featurization is a pure
+    /// function of the kernel, so the result is identical whether computed
+    /// here, via [`Prepared::from_sample`], or on any thread of
+    /// [`Prepared::from_kernels`].
+    pub fn from_kernel(kernel: &Kernel) -> Prepared {
+        let (opcode_ids, features) = kernel_features(kernel);
+        let adj = kernel.computation.adjacency();
         let edges = adj
             .directed_edges()
             .iter()
@@ -70,9 +84,26 @@ impl Prepared {
             opcode_ids,
             features,
             edges,
-            runtime_ns: s.runtime_ns,
-            group: s.group,
+            runtime_ns: 0.0,
+            group: usize::MAX,
         }
+    }
+
+    /// Featurize a slice of kernels in parallel, preserving order.
+    ///
+    /// Output is element-for-element identical to
+    /// `kernels.iter().map(Prepared::from_kernel)` regardless of thread
+    /// count: featurization touches no shared state and results are written
+    /// back by input index.
+    pub fn from_kernels(kernels: &[Kernel]) -> Vec<Prepared> {
+        kernels.par_iter().map(Prepared::from_kernel).collect()
+    }
+
+    /// Featurize a slice of samples in parallel, preserving order.
+    ///
+    /// Deterministic for the same reason as [`Prepared::from_kernels`].
+    pub fn from_samples(samples: &[Sample]) -> Vec<Prepared> {
+        samples.par_iter().map(Prepared::from_sample).collect()
     }
 
     /// Number of nodes.

@@ -1,0 +1,461 @@
+//! Batched, cached inference over trained models.
+//!
+//! Serving a learned cost model inside a compiler or autotuner (§6.3) has a
+//! very different profile from training: the same kernels are scored over
+//! and over (a simulated-annealing neighbourhood revisits configurations),
+//! and throughput matters more than single-kernel latency. This module adds
+//! the three pieces the paper's deployment story needs:
+//!
+//! - [`PredictionCache`] — a thread-safe, sharded map from the canonical
+//!   kernel hash ([`tpu_hlo::canonical_kernel_hash`]) to a cached
+//!   prediction, with hit/miss/eviction counters,
+//! - [`BatchedPredictor`] — groups kernels into [`GraphBatch`]es so each
+//!   forward pass scores many kernels at once instead of one per call,
+//! - [`CachedModel`] — wraps any [`CostModel`] so every consumer of the
+//!   trait (experiment harness, autotuner) gets caching for free.
+//!
+//! Cache keys are structural: two kernels with identical computations,
+//! kinds, and tile sizes share a key, so a prediction made for one is
+//! served for the other. Predictions are pure functions of the kernel and
+//! the frozen weights, which is what makes the cache sound.
+
+use crate::batch::{GraphBatch, Prepared};
+use crate::cost_model::CostModel;
+use crate::train::KernelModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tpu_hlo::{canonical_kernel_hash, Kernel};
+use tpu_nn::Tape;
+
+/// Number of independent shards; bounds lock contention under parallel
+/// lookups without a concurrent-map dependency.
+const SHARDS: usize = 16;
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computing a prediction.
+    pub misses: u64,
+    /// Entries discarded to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe prediction cache keyed by the canonical kernel hash.
+///
+/// Stores `Option<f64>` so "this backend cannot score that kernel" (the
+/// analytical model on kernels without tile-size options, §6.3 footnote 3)
+/// is cached too instead of being recomputed on every visit.
+///
+/// Lookups and inserts never hold a lock across a model evaluation: under
+/// contention two threads may both miss and compute the same prediction,
+/// which is harmless (predictions are deterministic) and cheaper than
+/// serialising forward passes behind a lock.
+pub struct PredictionCache {
+    shards: [Mutex<HashMap<u64, Option<f64>>>; SHARDS],
+    /// Max entries per shard; `None` = unbounded.
+    shard_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PredictionCache {
+    fn default() -> PredictionCache {
+        PredictionCache::new()
+    }
+}
+
+impl std::fmt::Debug for PredictionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PredictionCache {
+    /// An unbounded cache.
+    pub fn new() -> PredictionCache {
+        PredictionCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shard_capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache holding at most roughly `max_entries` predictions; inserting
+    /// beyond that evicts an arbitrary resident entry (counted in
+    /// [`CacheStats::evictions`]). `max_entries == 0` disables storage
+    /// entirely: every lookup misses, which gives cache-sensitive code an
+    /// uncached baseline without a second code path.
+    pub fn with_capacity(max_entries: usize) -> PredictionCache {
+        let shard_capacity = if max_entries == 0 {
+            0
+        } else {
+            max_entries.div_ceil(SHARDS)
+        };
+        PredictionCache {
+            shard_capacity: Some(shard_capacity),
+            ..PredictionCache::new()
+        }
+    }
+
+    /// The cache key for a kernel.
+    pub fn key(kernel: &Kernel) -> u64 {
+        canonical_kernel_hash(kernel)
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Option<f64>>> {
+        &self.shards[(hash % SHARDS as u64) as usize]
+    }
+
+    /// Look up by pre-computed hash, counting a hit or miss.
+    pub fn lookup_hash(&self, hash: u64) -> Option<Option<f64>> {
+        let found = self.shard(hash).lock().unwrap().get(&hash).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a prediction under a pre-computed hash, evicting if full.
+    /// No-op on a zero-capacity cache.
+    pub fn insert_hash(&self, hash: u64, prediction: Option<f64>) {
+        if self.shard_capacity == Some(0) {
+            return;
+        }
+        let mut map = self.shard(hash).lock().unwrap();
+        if let Some(cap) = self.shard_capacity {
+            if map.len() >= cap && !map.contains_key(&hash) {
+                if let Some(&victim) = map.keys().next() {
+                    map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        map.insert(hash, prediction);
+    }
+
+    /// Return the cached prediction for `kernel`, computing it with
+    /// `compute` on a miss. The lock is not held while `compute` runs.
+    pub fn get_or_compute(
+        &self,
+        kernel: &Kernel,
+        compute: impl FnOnce() -> Option<f64>,
+    ) -> Option<f64> {
+        let hash = PredictionCache::key(kernel);
+        if let Some(cached) = self.lookup_hash(hash) {
+            return cached;
+        }
+        let fresh = compute();
+        self.insert_hash(hash, fresh);
+        fresh
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Any [`CostModel`] with a [`PredictionCache`] in front of it.
+///
+/// The cache is behind an [`Arc`] so one cache can back several wrappers
+/// (e.g. the autotuner's model phase and the final report), and so stats
+/// remain readable while the model is borrowed.
+pub struct CachedModel<M> {
+    inner: M,
+    cache: Arc<PredictionCache>,
+    name: String,
+}
+
+impl<M: CostModel> CachedModel<M> {
+    /// Wrap a model with a fresh unbounded cache.
+    pub fn new(inner: M) -> CachedModel<M> {
+        CachedModel::with_cache(inner, Arc::new(PredictionCache::new()))
+    }
+
+    /// Wrap a model with a shared cache.
+    pub fn with_cache(inner: M, cache: Arc<PredictionCache>) -> CachedModel<M> {
+        let name = format!("cached-{}", inner.name());
+        CachedModel { inner, cache, name }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The cache (sharable via clone of the [`Arc`]).
+    pub fn cache(&self) -> &Arc<PredictionCache> {
+        &self.cache
+    }
+
+    /// Shortcut for `self.cache().stats()`.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl<M: CostModel> CostModel for CachedModel<M> {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        self.cache
+            .get_or_compute(kernel, || self.inner.predict_kernel_ns(kernel))
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Scores kernels through a [`KernelModel`] in packed batches.
+///
+/// One forward pass per `batch_size` kernels replaces one per kernel; the
+/// featurization step runs rayon-parallel. Results are positionally
+/// identical to the serial per-kernel path because packing preserves input
+/// order and each kernel's sub-graph is disjoint within the batch.
+pub struct BatchedPredictor<'m, M> {
+    model: &'m M,
+    batch_size: usize,
+}
+
+impl<'m, M: KernelModel> BatchedPredictor<'m, M> {
+    /// A predictor with the default batch size (64 kernels per pass).
+    pub fn new(model: &'m M) -> BatchedPredictor<'m, M> {
+        BatchedPredictor {
+            model,
+            batch_size: 64,
+        }
+    }
+
+    /// Override the number of kernels packed per forward pass.
+    pub fn with_batch_size(mut self, batch_size: usize) -> BatchedPredictor<'m, M> {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Log-runtime predictions for already-featurized kernels, in order.
+    pub fn predict_log_ns(&self, prepared: &[Prepared]) -> Vec<f64> {
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        self.predict_log_ns_refs(&refs)
+    }
+
+    /// Like [`BatchedPredictor::predict_log_ns`] but over references.
+    pub fn predict_log_ns_refs(&self, prepared: &[&Prepared]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(prepared.len());
+        for chunk in prepared.chunks(self.batch_size) {
+            let batch = GraphBatch::pack(chunk);
+            let mut tape = Tape::new();
+            let pred = self.model.forward_batch(&mut tape, &batch);
+            let t = tape.value(pred);
+            out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));
+        }
+        out
+    }
+
+    /// Runtime predictions (ns) for raw kernels: parallel featurization,
+    /// then batched forward passes.
+    pub fn predict_ns(&self, kernels: &[Kernel]) -> Vec<f64> {
+        let prepared = Prepared::from_kernels(kernels);
+        self.predict_log_ns(&prepared)
+            .into_iter()
+            .map(f64::exp)
+            .collect()
+    }
+
+    /// Runtime predictions (ns) served through a [`PredictionCache`].
+    ///
+    /// Only kernels whose canonical hash misses the cache are featurized
+    /// and forwarded — and each distinct structure at most once per call,
+    /// however many duplicates the input contains. Cached values are reused
+    /// bit-for-bit, so repeated calls return identical vectors.
+    pub fn predict_ns_cached(&self, kernels: &[Kernel], cache: &PredictionCache) -> Vec<f64> {
+        let hashes: Vec<u64> = kernels.iter().map(canonical_kernel_hash).collect();
+        let mut resolved: Vec<Option<f64>> = hashes
+            .iter()
+            .map(|&h| cache.lookup_hash(h).flatten())
+            .collect();
+
+        // First input index per distinct missing hash.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for (i, r) in resolved.iter().enumerate() {
+            if r.is_none() && seen.insert(hashes[i], ()).is_none() {
+                pending.push(i);
+            }
+        }
+
+        if !pending.is_empty() {
+            let fresh_kernels: Vec<Kernel> =
+                pending.iter().map(|&i| kernels[i].clone()).collect();
+            let fresh_ns = self.predict_ns(&fresh_kernels);
+            for (&i, &ns) in pending.iter().zip(&fresh_ns) {
+                cache.insert_hash(hashes[i], Some(ns));
+            }
+            // Fill every position (including duplicates of a miss).
+            let by_hash: HashMap<u64, f64> = pending
+                .iter()
+                .zip(&fresh_ns)
+                .map(|(&i, &ns)| (hashes[i], ns))
+                .collect();
+            for (i, r) in resolved.iter_mut().enumerate() {
+                if r.is_none() {
+                    *r = by_hash.get(&hashes[i]).copied();
+                }
+            }
+        }
+
+        resolved
+            .into_iter()
+            .map(|r| r.expect("every kernel resolved"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::FnCostModel;
+    use crate::model::{GnnConfig, GnnModel};
+    use std::sync::atomic::AtomicUsize;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    fn kernel(cols: usize) -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(8, cols), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        Kernel::new(b.finish(e))
+    }
+
+    #[test]
+    fn cache_hits_after_insert() {
+        let cache = PredictionCache::new();
+        let k = kernel(64);
+        assert_eq!(cache.get_or_compute(&k, || Some(42.0)), Some(42.0));
+        assert_eq!(cache.get_or_compute(&k, || panic!("must not recompute")), Some(42.0));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_stores_unsupported_kernels() {
+        let cache = PredictionCache::new();
+        let k = kernel(64);
+        assert_eq!(cache.get_or_compute(&k, || None), None);
+        // The negative result is cached: the closure must not run again.
+        assert_eq!(cache.get_or_compute(&k, || panic!("recomputed None")), None);
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let cache = PredictionCache::with_capacity(SHARDS); // 1 entry/shard
+        for cols in 1..=64 {
+            let k = kernel(cols);
+            cache.get_or_compute(&k, || Some(cols as f64));
+        }
+        let s = cache.stats();
+        assert!(s.entries <= SHARDS, "entries {} > cap {}", s.entries, SHARDS);
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let cache = PredictionCache::with_capacity(0);
+        let k = kernel(64);
+        assert_eq!(cache.get_or_compute(&k, || Some(1.0)), Some(1.0));
+        assert_eq!(cache.get_or_compute(&k, || Some(2.0)), Some(2.0));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn cached_model_counts_inner_calls() {
+        let calls = AtomicUsize::new(0);
+        let inner = FnCostModel::new("probe", |k: &Kernel| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Some(k.computation.num_nodes() as f64)
+        });
+        let m = CachedModel::new(inner);
+        let k = kernel(32);
+        let first = m.predict_kernel_ns(&k);
+        let second = m.predict_kernel_ns(&k);
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "second call must hit cache");
+        assert_eq!(m.name(), "cached-probe");
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn batched_predictor_matches_per_kernel_path() {
+        let model = GnnModel::new(GnnConfig::default());
+        let kernels: Vec<Kernel> = (1..=7).map(|i| kernel(i * 16)).collect();
+        let batched = BatchedPredictor::new(&model).with_batch_size(3).predict_ns(&kernels);
+        for (k, &b) in kernels.iter().zip(&batched) {
+            assert_eq!(b, model.predict_ns(k), "batched must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn cached_batch_prediction_is_stable_and_deduplicates() {
+        let model = GnnModel::new(GnnConfig::default());
+        let cache = PredictionCache::new();
+        // Duplicates: 4 distinct structures among 8 inputs.
+        let kernels: Vec<Kernel> = (0..8).map(|i| kernel(16 * (1 + i % 4))).collect();
+        let p = BatchedPredictor::new(&model);
+        let first = p.predict_ns_cached(&kernels, &cache);
+        assert_eq!(cache.len(), 4, "one entry per distinct structure");
+        let second = p.predict_ns_cached(&kernels, &cache);
+        assert_eq!(first, second);
+        let s = cache.stats();
+        assert_eq!(s.hits, 8, "second pass fully cached");
+        assert_eq!(first[0], first[4], "duplicate kernels share predictions");
+    }
+}

@@ -17,7 +17,11 @@
 //!   grouping, plus the hyperparameter grid search,
 //! - [`metrics`]: MAPE and Kendall's τ as reported in Tables 2–3,
 //! - [`CostModel`]: one interface over learned/analytical/simulator
-//!   backends, making the model retargetable across compiler tasks.
+//!   backends, making the model retargetable across compiler tasks,
+//! - [`PredictionCache`] / [`BatchedPredictor`] / [`CachedModel`]: the
+//!   inference engine — parallel featurization, canonical-hash prediction
+//!   caching, and batched forward passes for serving the model inside an
+//!   autotuner (§6.3).
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ pub mod metrics;
 mod batch;
 mod bundle;
 mod cost_model;
+mod engine;
 mod lstm_model;
 mod model;
 mod train;
@@ -48,6 +53,7 @@ mod train;
 pub use batch::{GraphBatch, Prepared, Sample};
 pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
+pub use engine::{BatchedPredictor, CacheStats, CachedModel, PredictionCache};
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
 pub use train::{

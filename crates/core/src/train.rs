@@ -130,23 +130,16 @@ impl KernelModel for LstmModel {
     }
 }
 
-/// Featurize samples once before training.
+/// Featurize samples once before training (rayon-parallel; output is
+/// identical to the serial per-sample path — see [`Prepared::from_samples`]).
 pub fn prepare(samples: &[Sample]) -> Vec<Prepared> {
-    samples.iter().map(Prepared::from_sample).collect()
+    Prepared::from_samples(samples)
 }
 
-/// Batched log-runtime prediction over prepared samples.
+/// Batched log-runtime prediction over prepared samples (one forward pass
+/// per 64 kernels, via [`crate::BatchedPredictor`]).
 pub fn predict_log_ns<M: KernelModel>(model: &M, prepared: &[Prepared]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(prepared.len());
-    for chunk in prepared.chunks(64) {
-        let refs: Vec<&Prepared> = chunk.iter().collect();
-        let batch = GraphBatch::pack(&refs);
-        let mut tape = Tape::new();
-        let pred = model.forward_batch(&mut tape, &batch);
-        let t = tape.value(pred);
-        out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));
-    }
-    out
+    crate::engine::BatchedPredictor::new(model).predict_log_ns(prepared)
 }
 
 /// Validation metric: fusion → MAPE on ns (lower better); tile → mean
@@ -479,15 +472,16 @@ mod tests {
         // rank tiles within each kernel.
         let cfg_hw = TpuConfig::default();
         let mut samples = Vec::new();
-        let mut group = 0;
-        for &(r, c) in &[(512usize, 1024usize), (1024, 1024), (2048, 512)] {
+        for (group, &(r, c)) in [(512usize, 1024usize), (1024, 1024), (2048, 512)]
+            .iter()
+            .enumerate()
+        {
             let k = ew_kernel(r, c);
             for tile in tpu_tile::valid_tile_sizes(&k, &cfg_hw, 12) {
                 let kt = k.clone().with_tile(tile);
                 let t = kernel_time_ns(&kt, &cfg_hw);
                 samples.push(Sample::grouped(kt, t, group));
             }
-            group += 1;
         }
         let prepared = prepare(&samples);
         let (train_set, val_set) = (prepared.clone(), prepared.clone());

@@ -113,9 +113,8 @@ impl Corpus {
         // configs, least similar to the bulk of their family).
         let mut val = Vec::new();
         for fam in ["lenet", "autoencoder", "char2feats", "mlp", "vgg", "bert_lite"] {
-            if let Some(i) = (0..self.len())
-                .filter(|&i| self.entries[i].family == fam && !test.contains(&i))
-                .last()
+            if let Some(i) =
+                (0..self.len()).rfind(|&i| self.entries[i].family == fam && !test.contains(&i))
             {
                 val.push(i);
             }

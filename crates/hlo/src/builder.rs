@@ -143,9 +143,7 @@ impl GraphBuilder {
         // XLA requires explicit broadcasts; we additionally allow scalar
         // operands for convenience, as the compiler would insert a
         // broadcast there anyway.
-        let shape = if sa == sb {
-            sa
-        } else if sb.is_scalar() {
+        let shape = if sa == sb || sb.is_scalar() {
             sa
         } else if sa.is_scalar() {
             sb

@@ -15,9 +15,12 @@ use std::fmt;
 /// assert_eq!(DType::F32.size_bytes(), 4);
 /// assert!(DType::BF16.is_floating());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum DType {
     /// 32-bit IEEE float.
+    #[default]
     F32,
     /// 16-bit brain float.
     BF16,
@@ -70,12 +73,6 @@ impl DType {
             "pred" => Some(DType::Pred),
             _ => None,
         }
-    }
-}
-
-impl Default for DType {
-    fn default() -> Self {
-        DType::F32
     }
 }
 

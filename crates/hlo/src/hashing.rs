@@ -94,6 +94,18 @@ pub fn kernel_hash(k: &Kernel) -> u64 {
     h.finish()
 }
 
+/// Canonical hash of a [`Kernel`] — the key used for dataset duplicate
+/// elimination (§5) and for prediction caching in the inference engine.
+///
+/// This is [`kernel_hash`] under its role-describing name: two kernels get
+/// the same key iff they have structurally identical computations (same
+/// opcodes, dtypes, shapes, layouts, attributes, and wiring — node names
+/// excluded) *and* the same kernel kind and tile size. A cached prediction
+/// for one is therefore valid for the other.
+pub fn canonical_kernel_hash(k: &Kernel) -> u64 {
+    kernel_hash(k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

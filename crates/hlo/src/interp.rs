@@ -217,7 +217,7 @@ pub fn evaluate_seeded(c: &Computation, seed: u64) -> Result<NdArray> {
     evaluate(c, &inputs)
 }
 
-fn operand<'a>(values: &'a [Option<NdArray>], id: NodeId) -> &'a NdArray {
+fn operand(values: &[Option<NdArray>], id: NodeId) -> &NdArray {
     values[id.index()].as_ref().expect("operand evaluated")
 }
 

@@ -62,7 +62,7 @@ pub fn perturb_layouts(c: &mut Computation, one_in: usize) -> usize {
             continue;
         }
         counter += 1;
-        if counter % one_in == 0 {
+        if counter.is_multiple_of(one_in) {
             let rank = node.shape.rank();
             // Column-major: reverse of the default permutation.
             let m2m: Vec<usize> = (0..rank).collect();

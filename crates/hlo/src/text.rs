@@ -158,7 +158,7 @@ pub fn parse_computation(text: &str) -> Result<Computation> {
             .split_once('=')
             .ok_or_else(|| parse_err(line_no, "missing `=`"))?;
         let id = parse_node_id(lhs.trim(), line_no)?;
-        let mut toks = rhs.trim().split_whitespace();
+        let mut toks = rhs.split_whitespace();
         let op_tok = toks
             .next()
             .ok_or_else(|| parse_err(line_no, "missing opcode"))?;

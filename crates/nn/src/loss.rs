@@ -212,11 +212,7 @@ mod tests {
                 // available; instead score = [w; 0] using slice of a 2x1.
                 let _ = rows;
                 let wcol = tape.gather_rows(w, Rc::new(vec![0, 0]));
-                let mask = tape.mul_const(
-                    wcol,
-                    Rc::new(Tensor::from_rows(&[&[1.0], &[0.0]])),
-                );
-                mask
+                tape.mul_const(wcol, Rc::new(Tensor::from_rows(&[&[1.0], &[0.0]])))
             };
             let loss =
                 pairwise_rank_loss(&mut tape, pred, &targets, RankPhi::Logistic).unwrap();

@@ -279,7 +279,7 @@ pub fn analyze_kernel(k: &Kernel, cfg: &TpuConfig) -> KernelTiming {
 
     // Bank-aliasing quirk: power-of-two-aligned wide tiles hit the same HBM
     // banks; a real machine effect the analytical model does not know.
-    if minor >= 256 && minor % 256 == 0 {
+    if minor >= 256 && minor.is_multiple_of(256) {
         memory_ns *= 1.06;
     }
 

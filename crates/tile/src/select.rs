@@ -155,10 +155,10 @@ mod hardware_tests {
         let device = TpuDevice::with_config(cfg.clone(), 5);
 
         // A deliberately bad model: inverse of the true cost.
-        let bad_model = |kk: &Kernel| -1.0 * kernel_time_ns(kk, &cfg);
+        let bad_model = |kk: &Kernel| -kernel_time_ns(kk, &cfg);
         let (_, with_hw) =
             tile_with_hardware(&k, &cfg, 200, bad_model, &device, 8, 3).unwrap();
-        let model_only = best_tile(&k, &cfg, 200, |kk| -1.0 * kernel_time_ns(kk, &cfg))
+        let model_only = best_tile(&k, &cfg, 200, |kk| -kernel_time_ns(kk, &cfg))
             .map(|t| kernel_time_ns(&k.clone().with_tile(t), &cfg))
             .unwrap();
         assert!(

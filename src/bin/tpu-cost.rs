@@ -109,7 +109,8 @@ fn main() -> ExitCode {
     }
 
     // Build the backend.
-    let predict: Box<dyn Fn(&tpu_repro::hlo::Kernel) -> Option<f64>> =
+    type KernelPredictFn = Box<dyn Fn(&tpu_repro::hlo::Kernel) -> Option<f64>>;
+    let predict: KernelPredictFn =
         match args.backend.split(':').next().unwrap_or("sim") {
             "sim" => {
                 let m = machine.clone();

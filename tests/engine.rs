@@ -1,0 +1,188 @@
+//! Integration tests for the batched, cached inference engine: cache
+//! correctness (bit-identical to the uncached serial path, no hash
+//! collisions between structurally distinct kernels, zero fresh model
+//! evaluations on revisits) and determinism of the rayon-parallel paths
+//! across thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tpu_repro::autotuner::{autotune_with_cost_model, Budgets, StartMode};
+use tpu_repro::hlo::{
+    canonical_kernel_hash, DType, GraphBuilder, Kernel, Program, Shape, TileSize,
+};
+use tpu_repro::learned::{
+    BatchedPredictor, CachedModel, CostModel, FnCostModel, GnnConfig, GnnModel, PredictionCache,
+    Prepared,
+};
+use tpu_repro::sim::{kernel_time_ns, TpuConfig, TpuDevice};
+
+/// A varied kernel corpus: elementwise chains, dots, reductions, mixed
+/// dtypes, and tiled variants — all built deterministically.
+fn kernel_corpus() -> Vec<Kernel> {
+    let mut kernels = Vec::new();
+    for (i, &cols) in [32usize, 64, 128, 256, 384].iter().enumerate() {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.parameter("x", Shape::matrix(16 + 8 * i, cols), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        kernels.push(Kernel::new(b.finish(e)));
+    }
+    for &n in &[64usize, 128, 192] {
+        let mut b = GraphBuilder::new("matmul");
+        let x = b.parameter("x", Shape::matrix(n, n), DType::F32);
+        let w = b.parameter("w", Shape::matrix(n, n), DType::F32);
+        let d = b.dot(x, w);
+        let r = b.relu(d);
+        kernels.push(Kernel::new(b.finish(r)));
+    }
+    for &dt in &[DType::F32, DType::BF16] {
+        let mut b = GraphBuilder::new("reduce");
+        let x = b.parameter("x", Shape::matrix(128, 128), dt);
+        let s = b.reduce(x, vec![1]);
+        kernels.push(Kernel::new(b.finish(s)));
+    }
+    // The same structure at different tile sizes must be distinct examples.
+    for &tile in &[8usize, 16, 32] {
+        let mut b = GraphBuilder::new("tiled");
+        let x = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+        let t = b.tanh(x);
+        kernels.push(Kernel::new(b.finish(t)).with_tile(TileSize(vec![tile, 32])));
+    }
+    kernels
+}
+
+#[test]
+fn cached_predictions_bit_identical_to_uncached_serial() {
+    let model = GnnModel::new(GnnConfig::default());
+    let kernels = kernel_corpus();
+
+    // Reference: the serial, uncached, one-kernel-at-a-time path.
+    let serial: Vec<f64> = kernels.iter().map(|k| model.predict_ns(k)).collect();
+
+    let cache = PredictionCache::new();
+    let predictor = BatchedPredictor::new(&model).with_batch_size(4);
+    let cold = predictor.predict_ns_cached(&kernels, &cache);
+    let warm = predictor.predict_ns_cached(&kernels, &cache);
+
+    assert_eq!(serial, cold, "cold cached path must be bit-identical");
+    assert_eq!(serial, warm, "warm cached path must be bit-identical");
+
+    // And through the CostModel wrapper as well.
+    let cached_model = CachedModel::new(GnnModel::new(GnnConfig::default()));
+    for (k, &expect) in kernels.iter().zip(&serial) {
+        assert_eq!(cached_model.predict_kernel_ns(k), Some(expect));
+        assert_eq!(cached_model.predict_kernel_ns(k), Some(expect));
+    }
+}
+
+#[test]
+fn structurally_distinct_kernels_never_share_a_hash() {
+    let kernels = kernel_corpus();
+    let hashes: Vec<u64> = kernels.iter().map(canonical_kernel_hash).collect();
+    for i in 0..hashes.len() {
+        for j in (i + 1)..hashes.len() {
+            assert_ne!(
+                hashes[i], hashes[j],
+                "kernels {i} and {j} are structurally distinct but collide"
+            );
+        }
+    }
+
+    // Renaming nodes must NOT change the hash: caching is structural.
+    let build = |pname: &str| {
+        let mut b = GraphBuilder::new(pname);
+        let x = b.parameter(pname, Shape::matrix(64, 64), DType::F32);
+        let t = b.tanh(x);
+        Kernel::new(b.finish(t))
+    };
+    assert_eq!(
+        canonical_kernel_hash(&build("alpha")),
+        canonical_kernel_hash(&build("beta"))
+    );
+}
+
+#[test]
+fn revisiting_a_configuration_costs_zero_fresh_model_evals() {
+    let mut b = GraphBuilder::new("main");
+    let x = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+    let w = b.parameter("w", Shape::matrix(256, 256), DType::F32);
+    let mut v = x;
+    for i in 0..2 {
+        let t = b.tanh(v);
+        let e = b.exp(t);
+        let s = b.add(t, e);
+        v = if i == 0 { b.dot(s, w) } else { s };
+    }
+    let program = Program::new("revisit", b.finish(v));
+
+    let machine = TpuConfig::default();
+    let evals = AtomicUsize::new(0);
+    let model = FnCostModel::new("counting-sim", |k: &Kernel| {
+        evals.fetch_add(1, Ordering::SeqCst);
+        Some(kernel_time_ns(k, &machine))
+    });
+    let cache = PredictionCache::new();
+    let device = TpuDevice::new(7);
+    let budgets = Budgets {
+        hardware_ns: 30e9,
+        model_steps: 200,
+        best_known_ns: 60e9,
+        top_k: 4,
+    };
+
+    let first = autotune_with_cost_model(
+        &program, &device, &model, &cache, StartMode::Default, &budgets, 3,
+    );
+    let evals_after_first = evals.load(Ordering::SeqCst);
+    assert!(evals_after_first > 0, "first run must evaluate the model");
+    assert_eq!(first.model_evals as usize, evals_after_first);
+
+    // Same program, same search, same cache: every kernel the search can
+    // reach was already scored, so the model is never invoked again.
+    let second = autotune_with_cost_model(
+        &program, &device, &model, &cache, StartMode::Default, &budgets, 3,
+    );
+    assert_eq!(
+        evals.load(Ordering::SeqCst),
+        evals_after_first,
+        "revisited configurations must be served from the cache"
+    );
+    assert_eq!(second.model_evals, 0);
+    assert!(second.cache_hits > 0);
+    assert_eq!(first.config, second.config, "same seed, same outcome");
+}
+
+#[test]
+fn parallel_paths_match_serial_for_any_thread_count() {
+    let kernels = kernel_corpus();
+    let model = GnnModel::new(GnnConfig::default());
+
+    // Plain serial references, computed without rayon at all.
+    let serial_prep: Vec<Prepared> = kernels.iter().map(Prepared::from_kernel).collect();
+    let serial_ns: Vec<f64> = kernels.iter().map(|k| model.predict_ns(k)).collect();
+
+    let assert_matches = |label: &str| {
+        let prep = Prepared::from_kernels(&kernels);
+        assert_eq!(prep.len(), serial_prep.len());
+        for (p, s) in prep.iter().zip(&serial_prep) {
+            assert_eq!(p.opcode_ids, s.opcode_ids, "{label}: opcode ids differ");
+            assert_eq!(p.edges, s.edges, "{label}: edges differ");
+            assert_eq!(
+                p.features.data(),
+                s.features.data(),
+                "{label}: features differ"
+            );
+        }
+        let ns = BatchedPredictor::new(&model).with_batch_size(5).predict_ns(&kernels);
+        assert_eq!(ns, serial_ns, "{label}: predictions differ");
+    };
+
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    assert_matches("1 thread");
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+    assert_matches("8 threads");
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline vendored criterion subset.
+//!
+//! A minimal timing harness exposing the criterion API shape the
+//! workspace's benches use: `Criterion::default()` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`, [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros (both plain and
+//! `name/config/targets` forms). It reports mean wall-clock per iteration
+//! to stdout; there is no statistical analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean_s: f64,
+}
+
+impl Bencher {
+    /// Time the closure: warm up, then run timed batches until the
+    /// measurement budget or sample count is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration.
+        let warm_start = Instant::now();
+        let mut calls_per_batch = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..calls_per_batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if warm_start.elapsed() >= self.warm_up {
+                if elapsed < Duration::from_micros(50) {
+                    calls_per_batch = calls_per_batch.saturating_mul(2);
+                }
+                break;
+            }
+            if elapsed < Duration::from_micros(50) {
+                calls_per_batch = calls_per_batch.saturating_mul(2);
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut calls = 0usize;
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..calls_per_batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            calls += calls_per_batch;
+            if budget_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.last_mean_s = total.as_secs_f64() / calls.max(1) as f64;
+    }
+}
+
+fn human_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Benchmark registry/configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            last_mean_s: f64::NAN,
+        };
+        f(&mut b);
+        println!("{label:<50} time: {}", human_time(b.last_mean_s));
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let mut crit = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            crit.sample_size = n;
+        }
+        crit.run_one(&label, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; mirrors the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group (plain and `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_finite_time() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with(" µs"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline vendored rayon subset.
+//!
+//! Provides `.par_iter()` over slices and `Vec`s with order-preserving
+//! `map`, `flat_map`, `enumerate`, and `collect`, executed on
+//! `std::thread::scope` worker threads. The thread count honours
+//! `RAYON_NUM_THREADS` (falling back to available parallelism), so
+//! `RAYON_NUM_THREADS=1` forces a fully serial execution — results are
+//! identical either way because adapters preserve input order exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => v.parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Order-preserving parallel map: `out[i] = f(items[i])`.
+///
+/// Work is claimed dynamically in contiguous blocks so uneven per-item
+/// costs still balance across threads.
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Slots to write results into, one per item, claimed by index.
+    let slots: Vec<std::sync::Mutex<Option<U>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let inputs: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let block = (n / (threads * 4)).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(block, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + block).min(n) {
+                    let item = inputs[i].lock().unwrap().take().expect("item claimed twice");
+                    *slots[i].lock().unwrap() = Some(f(item));
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker skipped a slot"))
+        .collect()
+}
+
+/// A materialized "parallel" iterator: adapters evaluate eagerly in
+/// parallel and preserve order.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index (like `Iterator::enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel map.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Parallel flat-map; sub-sequences are concatenated in input order.
+    pub fn flat_map<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+        I::IntoIter: Iterator,
+    {
+        let nested = parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keep items satisfying the predicate (evaluated in parallel).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Materialize into any `FromIterator` collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `.par_iter()` over borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.into_par_iter()` over owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Create the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Everything call sites import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let v: Vec<usize> = (0..50).collect();
+        let out: Vec<usize> = v.par_iter().flat_map(|&x| vec![x, x + 100]).collect();
+        let expect: Vec<usize> = (0..50).flat_map(|x| vec![x, x + 100]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let v: Vec<usize> = (0..200).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                if x % 17 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(out, v);
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros for the
+//! simplified serde value model in `vendor/serde`.
+//!
+//! Supports the shapes this workspace derives on: structs with named
+//! fields (including `#[serde(default)]`), newtype and tuple structs, and
+//! enums with unit and newtype variants. Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Newtype(String),
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume leading attributes; returns true if any was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "serde"
+                            && args.stream().to_string().contains("default")
+                        {
+                            has_default = true;
+                        }
+                    }
+                    self.pos += 2;
+                }
+                _ => return has_default,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket aware), consuming
+    /// the comma. Returns false when the end was reached instead.
+    fn skip_past_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle <= 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive({trait_name}) on generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut fields = Vec::new();
+                let mut fc = Cursor::new(g.stream());
+                while !fc.at_end() {
+                    let has_default = fc.skip_attrs();
+                    if fc.at_end() {
+                        break;
+                    }
+                    fc.skip_visibility();
+                    let fname = match fc.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("expected field name, got {other:?}")),
+                    };
+                    match fc.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                        other => return Err(format!("expected `:`, got {other:?}")),
+                    }
+                    fields.push(Field {
+                        name: fname,
+                        has_default,
+                    });
+                    fc.skip_past_comma();
+                }
+                Ok(Input::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut fc = Cursor::new(g.stream());
+                let mut arity = 0usize;
+                while !fc.at_end() {
+                    fc.skip_attrs();
+                    if fc.at_end() {
+                        break;
+                    }
+                    fc.skip_visibility();
+                    if fc.at_end() {
+                        break;
+                    }
+                    arity += 1;
+                    fc.skip_past_comma();
+                }
+                Ok(Input::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.skip_attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let vname = match vc.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let has_comma = {
+                            let mut ic = Cursor::new(g.stream());
+                            ic.skip_past_comma() && !ic.at_end()
+                        };
+                        if has_comma {
+                            return Err(format!(
+                                "multi-field variant `{name}::{vname}` is not supported by the vendored serde"
+                            ));
+                        }
+                        variants.push(Variant::Newtype(vname));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Err(format!(
+                            "struct variant `{name}::{vname}` is not supported by the vendored serde"
+                        ));
+                    }
+                    _ => variants.push(Variant::Unit(vname)),
+                }
+                vc.skip_past_comma();
+            }
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive {trait_name} for `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (vendored simplified model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Serialize") {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Object(::std::vec![{pushes}])
+                    }}
+                }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Array(::std::vec![{items}])
+                    }}
+                }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                    ),
+                    Variant::Newtype(vn) => format!(
+                        "{name}::{vn}(ref inner) => ::serde::Value::Object(::std::vec![
+                            (::std::string::String::from({vn:?}), ::serde::Serialize::to_value(inner))
+                        ]),"
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match *self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (vendored simplified model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Deserialize") {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.has_default {
+                        format!("{n}: ::serde::field_or_default(fields, {n:?})?,", n = f.name)
+                    } else {
+                        format!(
+                            "{n}: ::serde::field_required(fields, {n:?}, {name:?})?,",
+                            n = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let fields = v
+                            .as_object()
+                            .ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))
+                }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let items = v
+                            .as_array()
+                            .ok_or_else(|| ::serde::Error::expected(\"array\", {name:?}))?;
+                        if items.len() != {arity} {{
+                            return ::std::result::Result::Err(::serde::Error::expected(
+                                \"array of length {arity}\", {name:?}));
+                        }}
+                        ::std::result::Result::Ok({name}({items}))
+                    }}
+                }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Variant::Newtype(_) => None,
+                })
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Newtype(vn) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(
+                            ::serde::Deserialize::from_value(&fields[0].1)?)),"
+                    )),
+                    Variant::Unit(_) => None,
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                _ => ::std::result::Result::Err(::serde::Error::expected(
+                                    \"known variant\", {name:?})),
+                            }},
+                            ::serde::Value::Object(fields) if fields.len() == 1 => {{
+                                match fields[0].0.as_str() {{
+                                    {newtype_arms}
+                                    _ => ::std::result::Result::Err(::serde::Error::expected(
+                                        \"known variant\", {name:?})),
+                                }}
+                            }}
+                            _ => ::std::result::Result::Err(::serde::Error::expected(
+                                \"variant string or single-key object\", {name:?})),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}

@@ -1,0 +1,414 @@
+//! Offline vendored JSON serialization over the vendored serde model.
+//!
+//! Provides [`to_string`], [`to_string_pretty`], and [`from_str`] with
+//! upstream-compatible JSON output for the shapes this workspace uses.
+//! Non-finite floats serialize as `null` (upstream serde_json errors
+//! instead; emitting null keeps checkpointing total) and parse back as
+//! `NaN` for float targets.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialize a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a value of type `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON, trailing content, or a shape
+/// mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON text into the raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or trailing content.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep integral floats readable and round-trippable.
+        out.push_str(&format!("{:.1}", f));
+    } else {
+        // `{}` prints the shortest representation that round-trips.
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            if !fields.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected `{}` at byte {pos}",
+            c as char,
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> bool {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error("unterminated string".into()));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error("unterminated escape".into()));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        *pos += 4;
+                        let c = if (0xd800..0xdc00).contains(&code) {
+                            // Surrogate pair.
+                            if !parse_literal(bytes, pos, "\\u") {
+                                return Err(Error("lone high surrogate".into()));
+                            }
+                            let hex2 = bytes
+                                .get(*pos..*pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let low = u32::from_str_radix(
+                                std::str::from_utf8(hex2)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            *pos += 4;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(Error("invalid low surrogate".into()));
+                            }
+                            0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(c)
+                                .ok_or_else(|| Error("invalid unicode escape".into()))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error(format!("unknown escape `\\{}`", other as char)))
+                    }
+                }
+            }
+            _ => {
+                // Re-decode UTF-8 from the byte stream.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < bytes.len() && bytes[end] & 0xc0 == 0x80 {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if *pos < bytes.len() && bytes[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error("invalid number".into()))?;
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(Error("unexpected end of input".into()));
+    };
+    match b {
+        b'n' => {
+            if parse_literal(bytes, pos, "null") {
+                Ok(Value::Null)
+            } else {
+                Err(Error("invalid literal".into()))
+            }
+        }
+        b't' => {
+            if parse_literal(bytes, pos, "true") {
+                Ok(Value::Bool(true))
+            } else {
+                Err(Error("invalid literal".into()))
+            }
+        }
+        b'f' => {
+            if parse_literal(bytes, pos, "false") {
+                Ok(Value::Bool(false))
+            } else {
+                Err(Error("invalid literal".into()))
+            }
+        }
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}", pos = *pos))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}", pos = *pos))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(Error(format!("unexpected character `{}`", other as char))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compound() {
+        let v = vec![(1u32, -2.5f64), (7, 0.125)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote\" slash\\ nl\n tab\t unicode \u{1F600} ctrl\u{01}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn float_precision_roundtrip() {
+        for &f in &[1.0f32, -0.333_333_34, 1e-20, 3.402_823_5e38, 0.1] {
+            let json = to_string(&f).unwrap();
+            let back: f32 = from_str(&json).unwrap();
+            assert_eq!(back, f, "json was {json}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<f64>("1.0 x").is_err());
+        assert!(from_str::<String>("not json").is_err());
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_parses_as_nan() {
+        let json = to_string(&f64::NAN).unwrap();
+        assert_eq!(json, "null");
+        let back: f64 = from_str(&json).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Vec<Vec<u32>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}
