@@ -1,0 +1,179 @@
+//! Benchmark: the blocked parallel numeric core against the serial
+//! reference path it replaced.
+//!
+//! Two headline measurements, written to `BENCH_train.json` at the repo
+//! root (skipped under `BENCH_SMOKE=1`, which also shrinks the work so CI
+//! can smoke-test the bench in seconds):
+//!
+//! 1. raw matmul GFLOP/s — blocked/tiled kernel vs the naive i-k-j
+//!    reference (`force_reference_matmul`), identical results bit-for-bit;
+//! 2. end-to-end GNN train-step throughput — data-parallel shards +
+//!    blocked kernels + tape arena reuse vs the pre-optimization shape of
+//!    the loop (reference matmul, one shard, fresh tape allocations every
+//!    step).
+//!
+//! ```text
+//! RAYON_NUM_THREADS=4 cargo bench -p tpu-bench --bench train_step
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use tpu_learned_cost::{
+    prepare, train_step, GnnConfig, GnnModel, Prepared, Sample, TaskLoss, TrainConfig,
+};
+use tpu_nn::{force_reference_matmul, Adam, Tape, Tensor};
+use tpu_sim::{kernel_time_ns, TpuConfig};
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Best-of-`rounds` timing of `reps` square matmuls into a preallocated
+/// buffer; returns GFLOP/s. Taking the fastest round filters out noise
+/// from other tenants of the machine.
+fn matmul_gflops(dim: usize, reps: usize, rounds: usize, reference: bool) -> f64 {
+    let a = Tensor::from_vec(dim, dim, (0..dim * dim).map(|i| (i as f32 * 0.37).sin()).collect());
+    let b = Tensor::from_vec(dim, dim, (0..dim * dim).map(|i| (i as f32 * 0.71).cos()).collect());
+    let mut out = Tensor::zeros(dim, dim);
+    force_reference_matmul(reference);
+    a.matmul_into(&b, &mut out); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            a.matmul_into(&b, &mut out);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    force_reference_matmul(false);
+    black_box(out.data()[0]);
+    2.0 * (dim * dim * dim * reps) as f64 / best / 1e9
+}
+
+/// One batch of fused transformer kernels, the same workload as the
+/// `training` bench.
+fn batch(n_kernels: usize) -> Vec<Prepared> {
+    let cfg = TpuConfig::default();
+    let program = tpu_dataset::models::transformer("bench", 1, 16, 32, 2);
+    let (space, default_cfg) = tpu_fusion::default_space_and_config(&program.computation);
+    let fused = tpu_fusion::apply_fusion(&program, &space, &default_cfg);
+    let samples: Vec<Sample> = fused
+        .kernels
+        .into_iter()
+        .take(n_kernels)
+        .map(|k| {
+            let t = kernel_time_ns(&k, &cfg);
+            Sample::new(k, t)
+        })
+        .collect();
+    prepare(&samples)
+}
+
+/// Best-of-`rounds` timing of `steps` optimizer steps over the full
+/// batch; returns steps/sec of the fastest round.
+///
+/// `reuse_tapes = false` reconstructs the pre-optimization allocation
+/// pattern: every step starts from empty tapes, so every forward buffer is
+/// a fresh heap allocation instead of an arena hit.
+fn train_steps_per_sec(
+    prepared: &[Prepared],
+    steps: usize,
+    rounds: usize,
+    reference: bool,
+    shards: usize,
+    reuse_tapes: bool,
+) -> f64 {
+    force_reference_matmul(reference);
+    // Hidden width 128 (the upper end of a plausible capacity sweep) so the
+    // step is dominated by the numeric core being measured; at the tiny
+    // default width the step is mostly gather/segment bookkeeping that this
+    // PR does not touch.
+    let mut model = GnnModel::new(GnnConfig {
+        hidden: 128,
+        ..Default::default()
+    });
+    let cfg = TrainConfig {
+        shards,
+        loss: TaskLoss::FusionLogMse,
+        ..Default::default()
+    };
+    let mut opt = Adam::new(cfg.lr);
+    let idxs: Vec<usize> = (0..prepared.len()).collect();
+    let mut tapes: Vec<Tape> = Vec::new();
+    train_step(&mut model, prepared, &idxs, &cfg, &mut opt, &mut tapes); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            if !reuse_tapes {
+                tapes = Vec::new();
+            }
+            black_box(train_step(&mut model, prepared, &idxs, &cfg, &mut opt, &mut tapes));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    force_reference_matmul(false);
+    steps as f64 / best
+}
+
+fn bench_train_step(_c: &mut Criterion) {
+    // Honour RAYON_NUM_THREADS if the caller set it; otherwise use the
+    // machine default. On a single hardware thread the sharded
+    // configuration degrades to serial execution plus scheduling overhead,
+    // so the serial-optimized row is the meaningful one there.
+    let threads = rayon::current_num_threads();
+
+    let (dim, reps, rounds, steps, n_kernels) =
+        if smoke() { (64, 3, 1, 2, 8) } else { (256, 8, 5, 10, 24) };
+
+    let blocked = matmul_gflops(dim, reps, rounds, false);
+    let reference = matmul_gflops(dim, reps, rounds, true);
+    println!(
+        "matmul {dim}x{dim}x{dim}: blocked {blocked:.2} GFLOP/s, reference {reference:.2} GFLOP/s \
+         ({:.2}x)",
+        blocked / reference
+    );
+
+    let prepared = batch(n_kernels);
+    let optimized = train_steps_per_sec(&prepared, steps, rounds, false, 4, true);
+    let serial_opt = train_steps_per_sec(&prepared, steps, rounds, false, 1, true);
+    let baseline = train_steps_per_sec(&prepared, steps, rounds, true, 1, false);
+    let best = optimized.max(serial_opt);
+    println!(
+        "train step ({} kernels, {} threads): optimized {optimized:.2} steps/s \
+         (4 shards, blocked, arena), serial-optimized {serial_opt:.2} steps/s \
+         (1 shard, blocked, arena), baseline {baseline:.2} steps/s \
+         (1 shard, reference + transposes, fresh tapes) — {:.2}x parallel, {:.2}x serial",
+        prepared.len(),
+        threads,
+        optimized / baseline,
+        serial_opt / baseline
+    );
+
+    if !smoke() {
+        let json = format!(
+            "{{\n  \"matmul\": {{\n    \"dim\": {dim},\n    \"gflops_blocked\": {blocked:.3},\n    \
+             \"gflops_reference\": {reference:.3},\n    \"speedup\": {:.3}\n  }},\n  \
+             \"train_step\": {{\n    \"kernels\": {},\n    \"rayon_num_threads\": {threads},\n    \
+             \"shards\": 4,\n    \"steps_per_sec_optimized\": {optimized:.3},\n    \
+             \"steps_per_sec_serial_optimized\": {serial_opt:.3},\n    \
+             \"steps_per_sec_baseline\": {baseline:.3},\n    \"speedup\": {:.3},\n    \
+             \"speedup_parallel\": {:.3},\n    \"speedup_serial\": {:.3}\n  }}\n}}\n",
+            blocked / reference,
+            prepared.len(),
+            best / baseline,
+            optimized / baseline,
+            serial_opt / baseline
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+        std::fs::write(path, json).expect("write BENCH_train.json");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step
+}
+criterion_main!(benches);

@@ -289,9 +289,12 @@ impl<'m, M: KernelModel> BatchedPredictor<'m, M> {
     /// Like [`BatchedPredictor::predict_log_ns`] but over references.
     pub fn predict_log_ns_refs(&self, prepared: &[&Prepared]) -> Vec<f64> {
         let mut out = Vec::with_capacity(prepared.len());
+        // One tape for every chunk: reset() recycles the previous chunk's
+        // buffers instead of reallocating them.
+        let mut tape = Tape::new();
         for chunk in prepared.chunks(self.batch_size) {
             let batch = GraphBatch::pack(chunk);
-            let mut tape = Tape::new();
+            tape.reset();
             let pred = self.model.forward_batch(&mut tape, &batch);
             let t = tape.value(pred);
             out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));

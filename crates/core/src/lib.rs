@@ -57,6 +57,6 @@ pub use engine::{BatchedPredictor, CacheStats, CachedModel, PredictionCache};
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
 pub use train::{
-    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, validation_metric,
-    HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
+    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_step,
+    validation_metric, HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
 };

@@ -7,7 +7,7 @@ use crate::features::FEATURE_DIM;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 use tpu_hlo::{Kernel, Opcode};
 use tpu_nn::{Activation, Embedding, Linear, LstmCell, ParamStore, Tape, Tensor, Var};
 
@@ -146,14 +146,14 @@ impl LstmModel {
                 }
             }
             let inv = mask.map(|m| 1.0 - m);
-            let xt = tape.gather_rows(nodes, Rc::new(idx));
+            let xt = tape.gather_rows(nodes, Arc::new(idx));
             state = self.cell.masked_step(
                 tape,
                 &self.store,
                 xt,
                 state,
-                &Rc::new(mask),
-                &Rc::new(inv),
+                &Arc::new(mask),
+                &Arc::new(inv),
             );
         }
 

@@ -23,8 +23,11 @@ pub fn mape(predictions: &[f64], targets: &[f64]) -> f64 {
 /// Kendall rank correlation coefficient τ-b (tie-corrected), matching the
 /// "Kendall's τ" columns of Tables 2 and 3.
 ///
-/// Returns 0 when either input is constant. O(n²); sample sizes per
-/// program/kernel are small.
+/// Returns 0 when either input is constant. Knight's O(n log n)
+/// algorithm: sort by `(a, b)`, count per-variable and joint tie pairs
+/// from the sorted runs, and count discordant pairs as merge-sort
+/// inversions of the `b` sequence — program-level correlations run over
+/// thousands of samples, where the quadratic pair loop got slow.
 ///
 /// # Panics
 ///
@@ -35,36 +38,92 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let mut concordant = 0i64;
-    let mut discordant = 0i64;
-    let mut ties_a = 0i64;
-    let mut ties_b = 0i64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let da = a[i] - a[j];
-            let db = b[i] - b[j];
-            // τ-b counts ties per variable independently.
-            if da == 0.0 {
-                ties_a += 1;
-            }
-            if db == 0.0 {
-                ties_b += 1;
-            }
-            if da != 0.0 && db != 0.0 {
-                if (da > 0.0) == (db > 0.0) {
-                    concordant += 1;
-                } else {
-                    discordant += 1;
-                }
-            }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| a[i].total_cmp(&a[j]).then(b[i].total_cmp(&b[j])));
+
+    // n1 = pairs tied in a, n3 = pairs tied in both (joint runs nest
+    // inside equal-a runs because of the secondary sort key).
+    let mut n1 = 0i64;
+    let mut n3 = 0i64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && a[idx[j]] == a[idx[i]] {
+            j += 1;
         }
+        let t = (j - i) as i64;
+        n1 += t * (t - 1) / 2;
+        let mut k = i;
+        while k < j {
+            let mut l = k + 1;
+            while l < j && b[idx[l]] == b[idx[k]] {
+                l += 1;
+            }
+            let u = (l - k) as i64;
+            n3 += u * (u - 1) / 2;
+            k = l;
+        }
+        i = j;
     }
-    let n0 = (n * (n - 1) / 2) as i64;
-    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+
+    // Discordant pairs = inversions of b taken in (a, b) order: pairs tied
+    // in a are already b-sorted (no inversion), pairs tied only in b
+    // compare equal (not counted), everything else inverts iff discordant.
+    let mut bs: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let mut buf = vec![0.0; n];
+    let discordant = merge_count_inversions(&mut bs, &mut buf) as i64;
+
+    // n2 = pairs tied in b, read off the now-sorted b values.
+    let mut n2 = 0i64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && bs[j] == bs[i] {
+            j += 1;
+        }
+        let t = (j - i) as i64;
+        n2 += t * (t - 1) / 2;
+        i = j;
+    }
+
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let denom = (((n0 - n1) as f64) * ((n0 - n2) as f64)).sqrt();
     if denom == 0.0 {
         return 0.0;
     }
-    (concordant - discordant) as f64 / denom
+    // concordant − discordant = n0 − n1 − n2 + n3 − 2·discordant.
+    (n0 - n1 - n2 + n3 - 2 * discordant) as f64 / denom
+}
+
+/// Merge sort `v`, returning the number of strict inversions
+/// (`i < j` with `v[i] > v[j]`). `buf` is caller-provided scratch.
+fn merge_count_inversions(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = v.split_at_mut(mid);
+    let mut inv = merge_count_inversions(left, buf) + merge_count_inversions(right, buf);
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            // left[i..] are all greater than right[j]: each inverts.
+            inv += (left.len() - i) as u64;
+            buf[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    buf[k..k + left.len() - i].copy_from_slice(&left[i..]);
+    let merged = k + left.len() - i;
+    buf[merged..merged + right.len() - j].copy_from_slice(&right[j..]);
+    let total = merged + right.len() - j;
+    v.copy_from_slice(&buf[..total]);
+    inv
 }
 
 /// Median of a slice (returns NaN for empty input).
@@ -186,6 +245,63 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0];
         let b = [1.0, 2.0, 4.0, 3.0];
         assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// The original O(n²) pair loop, kept as the reference oracle for the
+    /// merge-sort implementation.
+    fn kendall_tau_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut concordant = 0i64;
+        let mut discordant = 0i64;
+        let mut ties_a = 0i64;
+        let mut ties_b = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let da = a[i] - a[j];
+                let db = b[i] - b[j];
+                if da == 0.0 {
+                    ties_a += 1;
+                }
+                if db == 0.0 {
+                    ties_b += 1;
+                }
+                if da != 0.0 && db != 0.0 {
+                    if (da > 0.0) == (db > 0.0) {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+        let n0 = (n * (n - 1) / 2) as i64;
+        let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (concordant - discordant) as f64 / denom
+    }
+
+    #[test]
+    fn kendall_matches_quadratic_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for trial in 0..200 {
+            let n = rng.gen_range(0..40);
+            // Draw from a small value set so ties (incl. joint ties) are
+            // common.
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(0..8) as f64).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(0..8) as f64).collect();
+            let fast = kendall_tau(&a, &b);
+            let slow = kendall_tau_reference(&a, &b);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "trial {trial}: fast={fast} slow={slow} a={a:?} b={b:?}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::features::FEATURE_DIM;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 use tpu_hlo::{Kernel, Opcode};
 use tpu_nn::{Activation, Embedding, Linear, ParamStore, Tape, Tensor, Var};
 
@@ -227,8 +227,8 @@ impl GnnModel {
             src.push(b);
             dst.push(a);
         }
-        let src = Rc::new(src);
-        let dst = Rc::new(dst);
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
 
         for (f2, f3) in &self.hops {
             match self.config.arch {
@@ -261,7 +261,7 @@ impl GnnModel {
         }
 
         // Kernel embedding κ: chosen combination of sum/mean/max pools.
-        let seg = Rc::new(batch.node_kernel.clone());
+        let seg = Arc::new(batch.node_kernel.clone());
         let b = batch.num_kernels();
         let mut pools = Vec::new();
         if self.config.pooling.sum {

@@ -9,11 +9,12 @@ use crate::model::GnnModel;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use tpu_nn::{
-    clip_grad_norm, grouped_pairwise_rank_loss, mse_loss, Adam, Optimizer, ParamStore, RankPhi,
-    Tape, Tensor, Var,
+    clip_grad_norm, grouped_pairwise_rank_loss, mse_loss, Adam, GradBuffer, Optimizer, ParamStore,
+    RankPhi, Tape, Tensor, Var,
 };
 
 /// Training objective.
@@ -45,6 +46,12 @@ pub struct TrainConfig {
     /// Cap on batches per epoch (subsampling very large datasets the way
     /// the paper's 207M-example corpus must be subsampled per epoch).
     pub max_batches_per_epoch: usize,
+    /// Number of shards each minibatch is split into for data-parallel
+    /// forward/backward. The shard count is fixed (independent of how many
+    /// rayon threads actually run them) and gradients are reduced in shard
+    /// order, so losses and weights are bit-identical for any
+    /// `RAYON_NUM_THREADS`. `1` disables sharding.
+    pub shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +64,7 @@ impl Default for TrainConfig {
             seed: 5,
             loss: TaskLoss::FusionLogMse,
             max_batches_per_epoch: 400,
+            shards: 4,
         }
     }
 }
@@ -88,8 +96,10 @@ impl TrainReport {
 }
 
 /// A model trainable on kernel batches: implemented by [`GnnModel`] and
-/// [`LstmModel`] so both share one training loop.
-pub trait KernelModel {
+/// [`LstmModel`] so both share one training loop. `Sync` because the
+/// data-parallel train step runs `forward_batch` from several worker
+/// threads at once.
+pub trait KernelModel: Sync {
     /// Forward pass producing `[B×1]` log-runtime predictions.
     fn forward_batch(&self, tape: &mut Tape, batch: &GraphBatch) -> Var;
     /// Parameter store.
@@ -212,6 +222,69 @@ fn batch_indices(
     }
 }
 
+/// Split a batch's sample indices into at most `shards` non-empty shards.
+///
+/// Fusion batches split contiguously; tile batches split only at
+/// group-run boundaries, so every group's samples stay in one shard and
+/// the in-shard pair sets / per-group weights match the unsharded batch.
+/// The split depends only on the batch and `shards`, never on thread
+/// count.
+fn shard_batch(
+    prepared: &[Prepared],
+    idxs: &[usize],
+    loss: TaskLoss,
+    shards: usize,
+) -> Vec<Vec<usize>> {
+    if shards <= 1 || idxs.len() < 2 {
+        return vec![idxs.to_vec()];
+    }
+    match loss {
+        TaskLoss::FusionLogMse => {
+            let chunk = idxs.len().div_ceil(shards);
+            idxs.chunks(chunk).map(<[usize]>::to_vec).collect()
+        }
+        TaskLoss::TileRank(_) | TaskLoss::TileMse => {
+            let mut runs: Vec<&[usize]> = Vec::new();
+            let mut start = 0;
+            for i in 1..=idxs.len() {
+                if i == idxs.len() || prepared[idxs[i]].group != prepared[idxs[start]].group {
+                    runs.push(&idxs[start..i]);
+                    start = i;
+                }
+            }
+            let target = idxs.len().div_ceil(shards);
+            let mut out: Vec<Vec<usize>> = Vec::new();
+            let mut cur: Vec<usize> = Vec::new();
+            for run in runs {
+                if !cur.is_empty() && cur.len() + run.len() > target && out.len() + 1 < shards {
+                    out.push(std::mem::take(&mut cur));
+                }
+                cur.extend_from_slice(run);
+            }
+            if !cur.is_empty() {
+                out.push(cur);
+            }
+            out
+        }
+    }
+}
+
+/// Ordered rank-loss pairs `(i, j)` with `t_i > t_j` within a group —
+/// the count the rank loss normalizes by.
+fn count_rank_pairs(prepared: &[Prepared], idxs: &[usize]) -> usize {
+    let mut count = 0;
+    for &i in idxs {
+        for &j in idxs {
+            if prepared[i].group == prepared[j].group
+                && prepared[i].runtime_ns > prepared[j].runtime_ns
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
 fn batch_loss<M: KernelModel>(
     model: &M,
     tape: &mut Tape,
@@ -239,11 +312,100 @@ fn batch_loss<M: KernelModel>(
                 .iter()
                 .map(|g| 1.0 / counts[g] as f32)
                 .collect();
-            let w = Rc::new(Tensor::from_vec(weights.len(), 1, weights));
+            let w = Arc::new(Tensor::from_vec(weights.len(), 1, weights));
             let target = tape.input(batch.log_targets());
             Some(tpu_nn::weighted_mse_loss(tape, pred, target, w))
         }
     }
+}
+
+/// One data-parallel training step over the batch `idxs`.
+///
+/// The batch is split into [`TrainConfig::shards`] shards; each shard
+/// runs its forward/backward pass on a rayon worker thread with its own
+/// tape and [`GradBuffer`], its in-tape loss scaled by the shard's share
+/// of the batch (samples for MSE losses, ordered pairs for the rank
+/// loss). Gradients are then reduced into the model's [`ParamStore`] in
+/// **fixed shard order**, so the summed loss and the updated weights are
+/// bit-identical for any `RAYON_NUM_THREADS`.
+///
+/// `tapes` carries the per-shard tape arenas across steps so buffers are
+/// recycled; pass the same `Vec` every step.
+///
+/// Returns the batch loss (the weighted sum of shard losses, equal to the
+/// unsharded batch loss), or `None` when the batch yields no loss (e.g. a
+/// rank batch without ordered pairs) — no optimizer step happens then.
+pub fn train_step<M: KernelModel>(
+    model: &mut M,
+    train_set: &[Prepared],
+    idxs: &[usize],
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    tapes: &mut Vec<Tape>,
+) -> Option<f64> {
+    let shard_idxs = shard_batch(train_set, idxs, cfg.loss, cfg.shards);
+    let total_n = idxs.len();
+    let is_rank = matches!(cfg.loss, TaskLoss::TileRank(_));
+    let total_pairs = if is_rank {
+        count_rank_pairs(train_set, idxs)
+    } else {
+        0
+    };
+    if is_rank && total_pairs == 0 {
+        return None;
+    }
+    while tapes.len() < shard_idxs.len() {
+        tapes.push(Tape::new());
+    }
+    let loss_kind = cfg.loss;
+    let jobs: Vec<(Tape, Vec<usize>, f32)> = shard_idxs
+        .into_iter()
+        .map(|sidx| {
+            let w = if is_rank {
+                count_rank_pairs(train_set, &sidx) as f32 / total_pairs as f32
+            } else {
+                sidx.len() as f32 / total_n as f32
+            };
+            (tapes.pop().expect("tape per shard"), sidx, w)
+        })
+        .collect();
+
+    let model_ref = &*model;
+    let results: Vec<(Tape, Option<f32>, GradBuffer)> = jobs
+        .into_par_iter()
+        .map(|(mut tape, sidx, w)| {
+            tape.reset();
+            let refs: Vec<&Prepared> = sidx.iter().map(|&i| &train_set[i]).collect();
+            let batch = GraphBatch::pack(&refs);
+            let mut gb = GradBuffer::new();
+            let val = batch_loss(model_ref, &mut tape, &batch, loss_kind).map(|loss| {
+                let scaled = tape.scale(loss, w);
+                tape.backward_with(scaled, &mut gb);
+                tape.value(scaled).item()
+            });
+            (tape, val, gb)
+        })
+        .collect();
+
+    // Fixed-order reduce: `results` is in shard order no matter which
+    // thread ran which shard.
+    model.params_mut().zero_grads();
+    let mut loss_sum = 0.0f64;
+    let mut any = false;
+    for (tape, val, gb) in results {
+        if let Some(v) = val {
+            loss_sum += v as f64;
+            any = true;
+        }
+        gb.apply_to(model.params_mut());
+        tapes.push(tape);
+    }
+    if !any {
+        return None;
+    }
+    clip_grad_norm(model.params_mut(), cfg.clip);
+    opt.step(model.params_mut());
+    Some(loss_sum)
 }
 
 /// Train a model, tracking the validation metric per epoch and restoring
@@ -264,23 +426,16 @@ pub fn train<M: KernelModel>(
     };
     let higher_better = matches!(cfg.loss, TaskLoss::TileRank(_) | TaskLoss::TileMse);
     let mut best_weights: Option<String> = None;
+    let mut tapes: Vec<Tape> = Vec::new();
 
     for epoch in 0..cfg.epochs {
         let mut batches = batch_indices(train_set, cfg, &mut rng);
         batches.truncate(cfg.max_batches_per_epoch);
         let mut losses = Vec::new();
         for idxs in &batches {
-            let refs: Vec<&Prepared> = idxs.iter().map(|&i| &train_set[i]).collect();
-            let batch = GraphBatch::pack(&refs);
-            let mut tape = Tape::new();
-            let Some(loss) = batch_loss(model, &mut tape, &batch, cfg.loss) else {
-                continue;
-            };
-            losses.push(tape.value(loss).item() as f64);
-            model.params_mut().zero_grads();
-            tape.backward(loss, model.params_mut());
-            clip_grad_norm(model.params_mut(), cfg.clip);
-            opt.step(model.params_mut());
+            if let Some(l) = train_step(model, train_set, idxs, cfg, &mut opt, &mut tapes) {
+                losses.push(l);
+            }
         }
         report.train_loss.push(mean(&losses));
 

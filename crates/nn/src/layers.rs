@@ -5,7 +5,7 @@ use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Activation applied by [`Linear::forward`] and [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,7 +176,7 @@ impl Embedding {
             assert!(id < self.vocab, "embedding id {id} out of vocabulary");
         }
         let t = tape.param(store, self.table);
-        tape.gather_rows(t, Rc::new(ids.to_vec()))
+        tape.gather_rows(t, Arc::new(ids.to_vec()))
     }
 }
 
@@ -272,8 +272,8 @@ impl LstmCell {
         store: &ParamStore,
         x: Var,
         state: LstmState,
-        mask: &Rc<Tensor>,
-        inv_mask: &Rc<Tensor>,
+        mask: &Arc<Tensor>,
+        inv_mask: &Arc<Tensor>,
     ) -> LstmState {
         let next = self.step(tape, store, x, state);
         let h_on = tape.mul_const(next.h, mask.clone());
@@ -381,8 +381,8 @@ mod tests {
             &store,
             x2,
             s1,
-            &Rc::new(mask),
-            &Rc::new(inv),
+            &Arc::new(mask),
+            &Arc::new(inv),
         );
         let h1 = tape.value(s1.h).clone();
         let h2 = tape.value(s2.h).clone();

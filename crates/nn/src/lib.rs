@@ -44,5 +44,5 @@ pub use loss::{
 };
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
-pub use tensor::Tensor;
+pub use tape::{GradBuffer, GradSink, Tape, Var};
+pub use tensor::{force_reference_matmul, Tensor};

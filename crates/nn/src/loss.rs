@@ -2,7 +2,7 @@
 
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The φ of the pairwise rank loss (Eq. 2), "tuned via hyperparameter
 /// search".
@@ -36,7 +36,7 @@ pub fn mse_loss(tape: &mut Tape, pred: Var, target: Var) -> Var {
 /// # Panics
 ///
 /// Panics if shapes disagree.
-pub fn weighted_mse_loss(tape: &mut Tape, pred: Var, target: Var, weights: Rc<Tensor>) -> Var {
+pub fn weighted_mse_loss(tape: &mut Tape, pred: Var, target: Var, weights: Arc<Tensor>) -> Var {
     let d = tape.sub(pred, target);
     let sq = tape.square(d);
     let w = tape.mul_const(sq, weights);
@@ -94,8 +94,8 @@ pub fn grouped_pairwise_rank_loss(
     if hi.is_empty() {
         return None;
     }
-    let slow = tape.gather_rows(pred, Rc::new(hi));
-    let fast = tape.gather_rows(pred, Rc::new(lo));
+    let slow = tape.gather_rows(pred, Arc::new(hi));
+    let fast = tape.gather_rows(pred, Arc::new(lo));
     // z = pred_slow − pred_fast; we want z to be *positive* (slower sample
     // predicted slower), so penalize small z with φ(z).
     let z = tape.sub(slow, fast);
@@ -141,7 +141,7 @@ mod tests {
         let mut tape = Tape::new();
         let a = tape.input(Tensor::from_rows(&[&[1.0], &[2.0]]));
         let b = tape.input(Tensor::from_rows(&[&[3.0], &[5.0]]));
-        let w = Rc::new(Tensor::from_rows(&[&[1.0], &[0.0]]));
+        let w = Arc::new(Tensor::from_rows(&[&[1.0], &[0.0]]));
         let l = weighted_mse_loss(&mut tape, a, b, w);
         assert_eq!(tape.value(l).item(), 2.0); // only the first pair counts
     }
@@ -211,8 +211,8 @@ mod tests {
                 // simpler: build two rows by gathering columns is not
                 // available; instead score = [w; 0] using slice of a 2x1.
                 let _ = rows;
-                let wcol = tape.gather_rows(w, Rc::new(vec![0, 0]));
-                tape.mul_const(wcol, Rc::new(Tensor::from_rows(&[&[1.0], &[0.0]])))
+                let wcol = tape.gather_rows(w, Arc::new(vec![0, 0]));
+                tape.mul_const(wcol, Arc::new(Tensor::from_rows(&[&[1.0], &[0.0]])))
             };
             let loss =
                 pairwise_rank_loss(&mut tape, pred, &targets, RankPhi::Logistic).unwrap();

@@ -1,8 +1,19 @@
 //! Reverse-mode automatic differentiation on a tape.
+//!
+//! Tapes own a small buffer arena: [`Tape::reset`] recycles every forward
+//! value into a free list, so steady-state training steps allocate
+//! (almost) nothing. Backward passes accumulate gradients in place,
+//! transform the incoming gradient in place for elementwise ops, and use
+//! the fused [`Tensor::matmul_at`]/[`Tensor::matmul_bt`] kernels so the
+//! matmul backward never materializes a transposed copy.
+//!
+//! Op payloads are [`Arc`]s, so a [`Tape`] is `Send` and can run a
+//! forward/backward pass on a worker thread (the data-parallel training
+//! path ships one tape per batch shard).
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a value on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,15 +43,15 @@ enum Op {
     Softplus(Var),
     ConcatCols(Vec<Var>),
     SliceCols(Var, usize, usize),
-    GatherRows(Var, Rc<Vec<usize>>),
-    SegmentSum(Var, Rc<Vec<usize>>, usize),
-    SegmentMean(Var, Rc<Vec<usize>>, usize),
+    GatherRows(Var, Arc<Vec<usize>>),
+    SegmentSum(Var, Arc<Vec<usize>>, usize),
+    SegmentMean(Var, Arc<Vec<usize>>, usize),
     /// Per-(segment, column) argmax row recorded at forward time.
-    SegmentMax(Var, Rc<Vec<usize>>, usize, Rc<Vec<i64>>),
+    SegmentMax(Var, Arc<Vec<usize>>, usize, Arc<Vec<i64>>),
     L2NormRows(Var),
     SumAll(Var),
     MeanAll(Var),
-    MulConst(Var, Rc<Tensor>),
+    MulConst(Var, Arc<Tensor>),
 }
 
 struct Node {
@@ -48,11 +59,112 @@ struct Node {
     value: Tensor,
 }
 
+/// Free list of `f32` buffers recycled between tape steps: forward ops and
+/// backward scratch draw from here instead of the allocator.
+#[derive(Default)]
+struct BufferPool {
+    free: Vec<Vec<f32>>,
+}
+
+impl BufferPool {
+    /// A `rows×cols` tensor filled with `fill`, reusing a free buffer.
+    fn take_filled(&mut self, rows: usize, cols: usize, fill: f32) -> Tensor {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(rows * cols, fill);
+        Tensor::from_vec(rows, cols, buf)
+    }
+
+    /// A zeroed `rows×cols` tensor, reusing a free buffer.
+    fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        self.take_filled(rows, cols, 0.0)
+    }
+
+    /// A copy of `src`, reusing a free buffer.
+    fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src.data());
+        Tensor::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// Return a tensor's buffer to the free list.
+    fn put(&mut self, t: Tensor) {
+        self.free.push(t.into_data());
+    }
+}
+
+/// Destination for the parameter gradients produced by
+/// [`Tape::backward_with`].
+pub trait GradSink {
+    /// Add `grad` into the accumulator for `id`.
+    fn accumulate(&mut self, id: ParamId, grad: &Tensor);
+}
+
+impl GradSink for ParamStore {
+    fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        self.grad_mut(id).axpy(1.0, grad);
+    }
+}
+
+/// A standalone gradient accumulator for the data-parallel training path:
+/// each batch shard's backward pass writes into its own `GradBuffer` on a
+/// worker thread, then the buffers are applied to the shared
+/// [`ParamStore`] in a fixed shard order so the summed gradients do not
+/// depend on thread scheduling.
+#[derive(Default)]
+pub struct GradBuffer {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradBuffer {
+    /// An empty buffer.
+    pub fn new() -> GradBuffer {
+        GradBuffer::default()
+    }
+
+    /// Drop all accumulated gradients, keeping capacity for reuse.
+    pub fn clear(&mut self) {
+        for g in &mut self.grads {
+            *g = None;
+        }
+    }
+
+    /// Whether no gradient has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.grads.iter().all(Option::is_none)
+    }
+
+    /// Add every accumulated gradient into `store`, in ascending
+    /// [`ParamId`] order.
+    pub fn apply_to(&self, store: &mut ParamStore) {
+        for (i, g) in self.grads.iter().enumerate() {
+            if let Some(g) = g {
+                store.grad_mut(ParamId(i)).axpy(1.0, g);
+            }
+        }
+    }
+}
+
+impl GradSink for GradBuffer {
+    fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        if self.grads.len() <= id.0 {
+            self.grads.resize_with(id.0 + 1, || None);
+        }
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.axpy(1.0, grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+}
+
 /// A computation tape: builds a forward graph op by op and computes
 /// gradients for every [`ParamStore`] parameter it touched.
 ///
-/// A fresh tape is created per training step; tapes are cheap (values are
-/// stored densely, freed on drop).
+/// Tapes are designed to be kept across training steps: [`Tape::reset`]
+/// clears the graph but recycles every value buffer into an internal
+/// arena, so the next step's forward ops reuse them instead of hitting
+/// the allocator.
 ///
 /// # Example
 ///
@@ -72,12 +184,13 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Tape {
-        Tape { nodes: Vec::new() }
+        Tape::default()
     }
 
     /// Number of recorded values.
@@ -88,6 +201,14 @@ impl Tape {
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clear the recorded graph, recycling every value buffer into the
+    /// tape's arena for the next step.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.free.push(node.value.into_data());
+        }
     }
 
     /// The forward value of a variable.
@@ -101,6 +222,32 @@ impl Tape {
         v
     }
 
+    /// Pooled elementwise unary op.
+    fn unary(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        let mut out = self.pool.take_zeroed(rows, cols);
+        for (o, &x) in out.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = f(x);
+        }
+        self.push(op, out)
+    }
+
+    /// Pooled elementwise binary op over same-shape operands.
+    fn binary(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!((rows, cols), self.value(b).shape(), "shape mismatch");
+        let mut out = self.pool.take_zeroed(rows, cols);
+        for ((o, &x), &y) in out
+            .data_mut()
+            .iter_mut()
+            .zip(self.nodes[a.0].value.data())
+            .zip(self.nodes[b.0].value.data())
+        {
+            *o = f(x, y);
+        }
+        self.push(op, out)
+    }
+
     /// Record a constant input (no gradient flows into it).
     pub fn input(&mut self, t: Tensor) -> Var {
         self.push(Op::Input, t)
@@ -109,7 +256,8 @@ impl Tape {
     /// Record a parameter value; [`Tape::backward`] will accumulate its
     /// gradient into the store.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Op::Param(id), store.value(id).clone())
+        let t = self.pool.take_copy(store.value(id));
+        self.push(Op::Param(id), t)
     }
 
     /// Matrix product.
@@ -118,8 +266,13 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), v)
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
+        let mut out = self.pool.take_zeroed(rows, cols);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// Elementwise sum of same-shape tensors.
@@ -128,8 +281,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
-        self.push(Op::Add(a, b), v)
+        self.binary(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Elementwise difference.
@@ -138,8 +290,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
-        self.push(Op::Sub(a, b), v)
+        self.binary(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Elementwise product.
@@ -148,8 +299,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
-        self.push(Op::Mul(a, b), v)
+        self.binary(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// Broadcast row add: `a [n×d] + b [1×d]` (bias add).
@@ -162,11 +312,11 @@ impl Tape {
         let (br, bc) = self.value(b).shape();
         assert_eq!(br, 1, "add_row rhs must have one row");
         assert_eq!(ac, bc, "add_row column mismatch");
-        let mut out = self.value(a).clone();
+        let mut out = self.pool.take_copy(&self.nodes[a.0].value);
+        let bias = self.nodes[b.0].value.data();
         for r in 0..ar {
-            for c in 0..ac {
-                let v = out.get(r, c) + self.value(b).get(0, c);
-                out.set(r, c, v);
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += bv;
             }
         }
         self.push(Op::AddRow(a, b), out)
@@ -174,64 +324,58 @@ impl Tape {
 
     /// Scalar multiple `s · a`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).map(|x| x * s);
-        self.push(Op::Scale(a, s), v)
+        self.unary(a, Op::Scale(a, s), |x| x * s)
     }
 
     /// Scalar offset `a + s`.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).map(|x| x + s);
-        self.push(Op::AddScalar(a, s), v)
+        self.unary(a, Op::AddScalar(a, s), |x| x + s)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(Op::Relu(a), v)
+        self.unary(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), v)
+        self.unary(a, Op::Tanh(a), f32::tanh)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(Op::Sigmoid(a), v)
+        self.unary(a, Op::Sigmoid(a), |x| 1.0 / (1.0 + (-x).exp()))
     }
 
     /// Elementwise `e^x`.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
-        self.push(Op::Exp(a), v)
+        self.unary(a, Op::Exp(a), f32::exp)
     }
 
     /// Elementwise natural log. Inputs must be positive.
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::ln);
-        self.push(Op::Ln(a), v)
+        self.unary(a, Op::Ln(a), f32::ln)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x * x);
-        self.push(Op::Square(a), v)
+        self.unary(a, Op::Square(a), |x| x * x)
     }
 
     /// Elementwise square root. Inputs must be non-negative.
     pub fn sqrt(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::sqrt);
-        self.push(Op::Sqrt(a), v)
+        self.unary(a, Op::Sqrt(a), f32::sqrt)
     }
 
     /// Numerically stable `softplus(x) = ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self
-            .value(a)
-            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
-        self.push(Op::Softplus(a), v)
+        self.unary(a, Op::Softplus(a), |x| {
+            if x > 20.0 {
+                x
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        })
     }
 
     /// Concatenate along columns.
@@ -243,10 +387,10 @@ impl Tape {
         assert!(!xs.is_empty(), "concat of nothing");
         let rows = self.value(xs[0]).rows();
         let total: usize = xs.iter().map(|&x| self.value(x).cols()).sum();
-        let mut out = Tensor::zeros(rows, total);
+        let mut out = self.pool.take_zeroed(rows, total);
         let mut off = 0;
         for &x in xs {
-            let t = self.value(x);
+            let t = &self.nodes[x.0].value;
             assert_eq!(t.rows(), rows, "concat row mismatch");
             for r in 0..rows {
                 out.row_mut(r)[off..off + t.cols()].copy_from_slice(t.row(r));
@@ -262,10 +406,11 @@ impl Tape {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let t = self.value(a);
-        assert!(start < end && end <= t.cols(), "bad column range");
-        let mut out = Tensor::zeros(t.rows(), end - start);
-        for r in 0..t.rows() {
+        let (rows, cols) = self.value(a).shape();
+        assert!(start < end && end <= cols, "bad column range");
+        let mut out = self.pool.take_zeroed(rows, end - start);
+        let t = &self.nodes[a.0].value;
+        for r in 0..rows {
             out.row_mut(r).copy_from_slice(&t.row(r)[start..end]);
         }
         self.push(Op::SliceCols(a, start, end), out)
@@ -276,9 +421,10 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
-    pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
-        let t = self.value(a);
-        let mut out = Tensor::zeros(idx.len(), t.cols());
+    pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
+        let cols = self.value(a).cols();
+        let mut out = self.pool.take_zeroed(idx.len(), cols);
+        let t = &self.nodes[a.0].value;
         for (r, &i) in idx.iter().enumerate() {
             assert!(i < t.rows(), "gather index out of range");
             out.row_mut(r).copy_from_slice(t.row(i));
@@ -291,14 +437,14 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `seg.len() != a.rows()` or a segment id is out of range.
-    pub fn segment_sum(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
-        let t = self.value(a);
-        assert_eq!(seg.len(), t.rows(), "segment id per row required");
-        let mut out = Tensor::zeros(n_segments, t.cols());
+    pub fn segment_sum(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(seg.len(), rows, "segment id per row required");
+        let mut out = self.pool.take_zeroed(n_segments, cols);
+        let t = &self.nodes[a.0].value;
         for (r, &s) in seg.iter().enumerate() {
             assert!(s < n_segments, "segment id out of range");
-            let row = t.row(r).to_vec();
-            for (o, v) in out.row_mut(s).iter_mut().zip(row) {
+            for (o, &v) in out.row_mut(s).iter_mut().zip(t.row(r)) {
                 *o += v;
             }
         }
@@ -310,16 +456,16 @@ impl Tape {
     /// # Panics
     ///
     /// Panics like [`Tape::segment_sum`].
-    pub fn segment_mean(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
-        let t = self.value(a);
-        assert_eq!(seg.len(), t.rows());
-        let mut out = Tensor::zeros(n_segments, t.cols());
+    pub fn segment_mean(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(seg.len(), rows);
+        let mut out = self.pool.take_zeroed(n_segments, cols);
+        let t = &self.nodes[a.0].value;
         let mut counts = vec![0usize; n_segments];
         for (r, &s) in seg.iter().enumerate() {
             assert!(s < n_segments);
             counts[s] += 1;
-            let row = t.row(r).to_vec();
-            for (o, v) in out.row_mut(s).iter_mut().zip(row) {
+            for (o, &v) in out.row_mut(s).iter_mut().zip(t.row(r)) {
                 *o += v;
             }
         }
@@ -338,11 +484,11 @@ impl Tape {
     /// # Panics
     ///
     /// Panics like [`Tape::segment_sum`].
-    pub fn segment_max(&mut self, a: Var, seg: Rc<Vec<usize>>, n_segments: usize) -> Var {
-        let t = self.value(a);
-        assert_eq!(seg.len(), t.rows());
-        let cols = t.cols();
-        let mut out = Tensor::full(n_segments, cols, f32::NEG_INFINITY);
+    pub fn segment_max(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(seg.len(), rows);
+        let mut out = self.pool.take_filled(n_segments, cols, f32::NEG_INFINITY);
+        let t = &self.nodes[a.0].value;
         let mut argmax = vec![-1i64; n_segments * cols];
         for (r, &s) in seg.iter().enumerate() {
             assert!(s < n_segments);
@@ -362,15 +508,15 @@ impl Tape {
                 }
             }
         }
-        self.push(Op::SegmentMax(a, seg, n_segments, Rc::new(argmax)), out)
+        self.push(Op::SegmentMax(a, seg, n_segments, Arc::new(argmax)), out)
     }
 
     /// L2-normalize each row (`x / max(‖x‖₂, ε)`), Eq. 1's `l2`.
     pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
-        let t = self.value(a);
-        let mut out = t.clone();
-        for r in 0..t.rows() {
-            let norm = t.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let rows = self.value(a).rows();
+        let mut out = self.pool.take_copy(&self.nodes[a.0].value);
+        for r in 0..rows {
+            let norm = out.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
             let n = norm.max(L2_EPS);
             for v in out.row_mut(r) {
                 *v /= n;
@@ -381,13 +527,15 @@ impl Tape {
 
     /// Sum of all elements → `1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
+        let s = self.value(a).sum();
+        let v = self.pool.take_filled(1, 1, s);
         self.push(Op::SumAll(a), v)
     }
 
     /// Mean of all elements → `1×1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
+        let m = self.value(a).mean();
+        let v = self.pool.take_filled(1, 1, m);
         self.push(Op::MeanAll(a), v)
     }
 
@@ -397,9 +545,19 @@ impl Tape {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn mul_const(&mut self, a: Var, c: Rc<Tensor>) -> Var {
-        let v = self.value(a).zip(&c, |x, y| x * y);
-        self.push(Op::MulConst(a, c), v)
+    pub fn mul_const(&mut self, a: Var, c: Arc<Tensor>) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!((rows, cols), c.shape(), "shape mismatch");
+        let mut out = self.pool.take_zeroed(rows, cols);
+        for ((o, &x), &y) in out
+            .data_mut()
+            .iter_mut()
+            .zip(self.nodes[a.0].value.data())
+            .zip(c.data())
+        {
+            *o = x * y;
+        }
+        self.push(Op::MulConst(a, c), out)
     }
 
     /// Run reverse-mode differentiation from `loss` (must be `1×1`),
@@ -408,162 +566,223 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `loss` is not scalar.
-    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_with(loss, store);
+    }
+
+    /// [`Tape::backward`] into any [`GradSink`] — the data-parallel
+    /// training path passes a per-shard [`GradBuffer`] here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar.
+    pub fn backward_with(&mut self, loss: Var, sink: &mut impl GradSink) {
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
             "backward needs a scalar loss"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::scalar(1.0));
+        let Tape { nodes, pool } = self;
+        let mut grads: Vec<Option<Tensor>> = Vec::new();
+        grads.resize_with(nodes.len(), || None);
+        grads[loss.0] = Some(pool.take_filled(1, 1, 1.0));
 
-        for i in (0..self.nodes.len()).rev() {
-            let g = match grads[i].take() {
+        for i in (0..nodes.len()).rev() {
+            let mut g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
-            match &self.nodes[i].op {
-                Op::Input => {}
-                Op::Param(id) => store.grad_mut(*id).axpy(1.0, &g),
+            match &nodes[i].op {
+                Op::Input => pool.put(g),
+                Op::Param(id) => {
+                    sink.accumulate(*id, &g);
+                    pool.put(g);
+                }
                 Op::MatMul(a, b) => {
-                    let da = g.matmul(&self.value(*b).transpose());
-                    let db = self.value(*a).transpose().matmul(&g);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let av = &nodes[a.0].value;
+                    let bv = &nodes[b.0].value;
+                    // da = g · bᵀ and db = aᵀ · g via the fused kernels —
+                    // no transposed copies are ever built.
+                    let mut da = pool.take_zeroed(g.rows(), bv.rows());
+                    g.matmul_bt_into(bv, &mut da);
+                    let mut db = pool.take_zeroed(av.cols(), g.cols());
+                    av.matmul_at_into(&g, &mut db);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    accumulate_owned(&mut grads, pool, *b, db);
+                    pool.put(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    accumulate_ref(&mut grads, pool, *a, &g);
+                    accumulate_owned(&mut grads, pool, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.map(|x| -x));
+                    accumulate_ref(&mut grads, pool, *a, &g);
+                    for x in g.data_mut() {
+                        *x = -*x;
+                    }
+                    accumulate_owned(&mut grads, pool, *b, g);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.zip(self.value(*b), |x, y| x * y);
-                    let db = g.zip(self.value(*a), |x, y| x * y);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = pool.take_zeroed(g.rows(), g.cols());
+                    for ((o, &gv), &bv) in da
+                        .data_mut()
+                        .iter_mut()
+                        .zip(g.data())
+                        .zip(nodes[b.0].value.data())
+                    {
+                        *o = gv * bv;
+                    }
+                    for (gv, &av) in g.data_mut().iter_mut().zip(nodes[a.0].value.data()) {
+                        *gv *= av;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    accumulate_owned(&mut grads, pool, *b, g);
                 }
                 Op::AddRow(a, b) => {
-                    let bc = self.value(*b).cols();
-                    let mut db = Tensor::zeros(1, bc);
+                    let bc = nodes[b.0].value.cols();
+                    let mut db = pool.take_zeroed(1, bc);
                     for r in 0..g.rows() {
-                        for c in 0..bc {
-                            let v = db.get(0, c) + g.get(r, c);
-                            db.set(0, c, v);
+                        for (o, &gv) in db.data_mut().iter_mut().zip(g.row(r)) {
+                            *o += gv;
                         }
                     }
-                    accumulate(&mut grads, *a, g);
-                    accumulate(&mut grads, *b, db);
+                    accumulate_owned(&mut grads, pool, *b, db);
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
-                Op::Scale(a, s) => accumulate(&mut grads, *a, g.map(|x| x * s)),
-                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                Op::Scale(a, s) => {
+                    for x in g.data_mut() {
+                        *x *= s;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
+                }
+                Op::AddScalar(a, _) => accumulate_owned(&mut grads, pool, *a, g),
                 Op::Relu(a) => {
-                    let da = g.zip(self.value(*a), |gr, x| if x > 0.0 { gr } else { 0.0 });
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &x) in g.data_mut().iter_mut().zip(nodes[a.0].value.data()) {
+                        if x <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Tanh(a) => {
-                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * (1.0 - y * y));
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &y) in g.data_mut().iter_mut().zip(nodes[i].value.data()) {
+                        *gv *= 1.0 - y * y;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Sigmoid(a) => {
-                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * y * (1.0 - y));
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &y) in g.data_mut().iter_mut().zip(nodes[i].value.data()) {
+                        *gv *= y * (1.0 - y);
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Exp(a) => {
-                    let da = g.zip(&self.nodes[i].value, |gr, y| gr * y);
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &y) in g.data_mut().iter_mut().zip(nodes[i].value.data()) {
+                        *gv *= y;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Ln(a) => {
-                    let da = g.zip(self.value(*a), |gr, x| gr / x);
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &x) in g.data_mut().iter_mut().zip(nodes[a.0].value.data()) {
+                        *gv /= x;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Square(a) => {
-                    let da = g.zip(self.value(*a), |gr, x| gr * 2.0 * x);
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &x) in g.data_mut().iter_mut().zip(nodes[a.0].value.data()) {
+                        *gv *= 2.0 * x;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Sqrt(a) => {
-                    let da = g.zip(&self.nodes[i].value, |gr, y| gr / (2.0 * y.max(1e-12)));
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &y) in g.data_mut().iter_mut().zip(nodes[i].value.data()) {
+                        *gv /= 2.0 * y.max(1e-12);
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::Softplus(a) => {
-                    let da = g.zip(self.value(*a), |gr, x| gr / (1.0 + (-x).exp()));
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &x) in g.data_mut().iter_mut().zip(nodes[a.0].value.data()) {
+                        *gv /= 1.0 + (-x).exp();
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
                 Op::ConcatCols(xs) => {
                     let mut off = 0;
                     for &x in xs {
-                        let cols = self.value(x).cols();
-                        let mut dx = Tensor::zeros(g.rows(), cols);
+                        let cols = nodes[x.0].value.cols();
+                        let mut dx = pool.take_zeroed(g.rows(), cols);
                         for r in 0..g.rows() {
                             dx.row_mut(r).copy_from_slice(&g.row(r)[off..off + cols]);
                         }
-                        accumulate(&mut grads, x, dx);
+                        accumulate_owned(&mut grads, pool, x, dx);
                         off += cols;
                     }
+                    pool.put(g);
                 }
                 Op::SliceCols(a, start, end) => {
-                    let t = self.value(*a);
-                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let mut da = pool.take_zeroed(tr, tc);
                     for r in 0..g.rows() {
                         da.row_mut(r)[*start..*end].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::GatherRows(a, idx) => {
-                    let t = self.value(*a);
-                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let mut da = pool.take_zeroed(tr, tc);
                     for (r, &src) in idx.iter().enumerate() {
-                        let grow = g.row(r).to_vec();
-                        for (o, v) in da.row_mut(src).iter_mut().zip(grow) {
+                        for (o, &v) in da.row_mut(src).iter_mut().zip(g.row(r)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::SegmentSum(a, seg, _) => {
-                    let t = self.value(*a);
-                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let mut da = pool.take_zeroed(tr, tc);
                     for (r, &s) in seg.iter().enumerate() {
                         da.row_mut(r).copy_from_slice(g.row(s));
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::SegmentMean(a, seg, n) => {
                     let mut counts = vec![0f32; *n];
                     for &s in seg.iter() {
                         counts[s] += 1.0;
                     }
-                    let t = self.value(*a);
-                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let mut da = pool.take_zeroed(tr, tc);
                     for (r, &s) in seg.iter().enumerate() {
                         let inv = 1.0 / counts[s];
                         for (o, &v) in da.row_mut(r).iter_mut().zip(g.row(s)) {
                             *o = v * inv;
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::SegmentMax(a, _, n, argmax) => {
-                    let t = self.value(*a);
-                    let cols = t.cols();
-                    let mut da = Tensor::zeros(t.rows(), t.cols());
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let mut da = pool.take_zeroed(tr, tc);
                     for s in 0..*n {
-                        for c in 0..cols {
-                            let r = argmax[s * cols + c];
+                        for c in 0..tc {
+                            let r = argmax[s * tc + c];
                             if r >= 0 {
                                 let v = da.get(r as usize, c) + g.get(s, c);
                                 da.set(r as usize, c, v);
                             }
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::L2NormRows(a) => {
-                    let x = self.value(*a);
-                    let y = &self.nodes[i].value;
-                    let mut da = Tensor::zeros(x.rows(), x.cols());
+                    let x = &nodes[a.0].value;
+                    let y = &nodes[i].value;
+                    let mut da = pool.take_zeroed(x.rows(), x.cols());
                     for r in 0..x.rows() {
                         let norm = x.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
                         let n = norm.max(L2_EPS);
@@ -579,21 +798,26 @@ impl Tape {
                             da.set(r, c, (g.get(r, c) - proj) / n);
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::SumAll(a) => {
-                    let t = self.value(*a);
-                    let da = Tensor::full(t.rows(), t.cols(), g.item());
-                    accumulate(&mut grads, *a, da);
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let da = pool.take_filled(tr, tc, g.item());
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::MeanAll(a) => {
-                    let t = self.value(*a);
-                    let da = Tensor::full(t.rows(), t.cols(), g.item() / t.len() as f32);
-                    accumulate(&mut grads, *a, da);
+                    let (tr, tc) = nodes[a.0].value.shape();
+                    let da = pool.take_filled(tr, tc, g.item() / nodes[a.0].value.len() as f32);
+                    accumulate_owned(&mut grads, pool, *a, da);
+                    pool.put(g);
                 }
                 Op::MulConst(a, c) => {
-                    let da = g.zip(c, |x, y| x * y);
-                    accumulate(&mut grads, *a, da);
+                    for (gv, &cv) in g.data_mut().iter_mut().zip(c.data()) {
+                        *gv *= cv;
+                    }
+                    accumulate_owned(&mut grads, pool, *a, g);
                 }
             }
         }
@@ -602,10 +826,24 @@ impl Tape {
 
 const L2_EPS: f32 = 1e-6;
 
-fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+/// Accumulate an owned gradient into `grads[v]`; when the slot is already
+/// occupied the addition happens in place and `g`'s buffer is recycled.
+fn accumulate_owned(grads: &mut [Option<Tensor>], pool: &mut BufferPool, v: Var, g: Tensor) {
     match &mut grads[v.0] {
-        Some(existing) => existing.axpy(1.0, &g),
+        Some(existing) => {
+            existing.axpy(1.0, &g);
+            pool.put(g);
+        }
         slot @ None => *slot = Some(g),
+    }
+}
+
+/// Accumulate a borrowed gradient into `grads[v]`, copying through the
+/// pool only when the slot is empty.
+fn accumulate_ref(grads: &mut [Option<Tensor>], pool: &mut BufferPool, v: Var, g: &Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => *slot = Some(pool.take_copy(g)),
     }
 }
 
@@ -728,8 +966,8 @@ mod tests {
     #[test]
     fn grad_gather_and_segments() {
         let init = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        let idx = Rc::new(vec![2usize, 0, 2, 1]);
-        let seg = Rc::new(vec![0usize, 1, 1, 0]);
+        let idx = Arc::new(vec![2usize, 0, 2, 1]);
+        let seg = Arc::new(vec![0usize, 1, 1, 0]);
         grad_check(
             init.clone(),
             |t, p| {
@@ -743,7 +981,7 @@ mod tests {
         grad_check(
             init.clone(),
             |t, p| {
-                let s = t.segment_mean(p, Rc::new(vec![0, 0, 1]), 2);
+                let s = t.segment_mean(p, Arc::new(vec![0, 0, 1]), 2);
                 let sq = t.square(s);
                 t.sum_all(sq)
             },
@@ -752,7 +990,7 @@ mod tests {
         grad_check(
             init,
             |t, p| {
-                let s = t.segment_max(p, Rc::new(vec![0, 0, 1]), 2);
+                let s = t.segment_max(p, Arc::new(vec![0, 0, 1]), 2);
                 let sq = t.square(s);
                 t.sum_all(sq)
             },
@@ -793,7 +1031,7 @@ mod tests {
     #[test]
     fn grad_mul_const_mask() {
         let init = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        let mask = Rc::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let mask = Arc::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
         grad_check(
             init,
             |t, p| {
@@ -844,7 +1082,81 @@ mod tests {
     fn segment_max_empty_segment_is_zero() {
         let mut tape = Tape::new();
         let x = tape.input(Tensor::from_rows(&[&[1.0], &[2.0]]));
-        let m = tape.segment_max(x, Rc::new(vec![0, 0]), 2);
+        let m = tape.segment_max(x, Arc::new(vec![0, 0]), 2);
         assert_eq!(tape.value(m).get(1, 0), 0.0);
+    }
+
+    /// A small two-matmul network used by the arena/sink tests below.
+    fn little_net(tape: &mut Tape, store: &ParamStore, w: ParamId, b: ParamId) -> Var {
+        let x = tape.input(Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 3.0], &[2.0, 2.0]]));
+        let wv = tape.param(store, w);
+        let bv = tape.param(store, b);
+        let h = tape.matmul(x, wv);
+        let hb = tape.add_row(h, bv);
+        let r = tape.relu(hb);
+        let sq = tape.square(r);
+        tape.mean_all(sq)
+    }
+
+    fn little_store() -> (ParamStore, ParamId, ParamId) {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_rows(&[&[0.4, -0.6], &[1.1, 0.2]]));
+        let b = store.register("b", Tensor::from_rows(&[&[0.1, -0.2]]));
+        (store, w, b)
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_keeps_results_identical() {
+        let (mut store, w, b) = little_store();
+        // Fresh tape per step (the old allocation pattern).
+        let mut fresh_grads = Vec::new();
+        for _ in 0..3 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let loss = little_net(&mut tape, &store, w, b);
+            tape.backward(loss, &mut store);
+            fresh_grads.push((store.grad(w).clone(), store.grad(b).clone()));
+        }
+        // One tape reset between steps (the arena pattern).
+        let mut tape = Tape::new();
+        for (step, fresh) in fresh_grads.iter().enumerate() {
+            store.zero_grads();
+            tape.reset();
+            let loss = little_net(&mut tape, &store, w, b);
+            tape.backward(loss, &mut store);
+            assert_eq!(store.grad(w), &fresh.0, "step {step}");
+            assert_eq!(store.grad(b), &fresh.1, "step {step}");
+        }
+        assert!(!tape.is_empty());
+        tape.reset();
+        assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn grad_buffer_matches_direct_store_accumulation() {
+        let (mut store, w, b) = little_store();
+        let mut tape = Tape::new();
+        let loss = little_net(&mut tape, &store, w, b);
+        store.zero_grads();
+        tape.backward(loss, &mut store);
+        let direct_w = store.grad(w).clone();
+        let direct_b = store.grad(b).clone();
+
+        let mut tape2 = Tape::new();
+        let loss2 = little_net(&mut tape2, &store, w, b);
+        let mut gb = GradBuffer::new();
+        assert!(gb.is_empty());
+        tape2.backward_with(loss2, &mut gb);
+        assert!(!gb.is_empty());
+        store.zero_grads();
+        gb.apply_to(&mut store);
+        assert_eq!(store.grad(w), &direct_w);
+        assert_eq!(store.grad(b), &direct_b);
+
+        gb.clear();
+        assert!(gb.is_empty());
+        store.zero_grads();
+        gb.apply_to(&mut store);
+        assert_eq!(store.grad_norm(), 0.0);
     }
 }

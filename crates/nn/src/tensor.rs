@@ -1,8 +1,53 @@
-//! A minimal dense 2-D float tensor.
+//! A minimal dense 2-D float tensor with a blocked, parallel matmul core.
+//!
+//! All three matrix-product kernels ([`Tensor::matmul`],
+//! [`Tensor::matmul_at`], [`Tensor::matmul_bt`]) accumulate each output
+//! element strictly in ascending-`k` order, exactly like the naive
+//! three-loop reference. Cache blocking only reorders *which* elements are
+//! worked on, never the summation order within one element, and the
+//! parallel path splits work by disjoint output-row chunks — so results
+//! are bit-identical to the serial reference for every shape and thread
+//! count. That invariant is what lets the training loop shard batches
+//! across threads and still produce reproducible losses.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Rows handled together by the matmul micro-kernel: four output rows
+/// share one streaming pass over a `B` panel, quadrupling arithmetic per
+/// loaded element versus the one-row loop.
+const MR: usize = 4;
+
+/// Columns handled together by the micro-kernel. An `MR×NR` tile of
+/// partial sums lives in registers for the whole `k` loop, so output
+/// elements are loaded and stored once instead of once per `k` step.
+const NR: usize = 16;
+
+/// Minimum multiply-add count before the parallel path pays for its
+/// thread handoff; below this everything runs on the calling thread.
+const PAR_FLOPS: usize = 1 << 20;
+
+/// When set, [`Tensor::matmul`] and the fused variants fall back to the
+/// naive serial reference kernel. Used by benches to measure the blocked
+/// kernel against the pre-optimization baseline on identical inputs.
+static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Force all matrix products onto the naive serial reference kernel
+/// (`true`) or the blocked/parallel kernels (`false`, the default). In
+/// forced mode the fused transposed variants also materialize their
+/// transposes first, reconstructing the pre-optimization computation.
+///
+/// Because every kernel is bit-identical to the reference, this only
+/// changes speed, never results. Intended for benchmarks; global.
+pub fn force_reference_matmul(on: bool) {
+    FORCE_REFERENCE.store(on, Ordering::Relaxed);
+}
+
+fn reference_forced() -> bool {
+    FORCE_REFERENCE.load(Ordering::Relaxed)
+}
 
 /// A row-major 2-D tensor of `f32`. Scalars are `1×1`, vectors are `1×d`
 /// or `n×1`.
@@ -137,6 +182,11 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consume the tensor, returning its flat row-major buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element accessor.
     ///
     /// # Panics
@@ -189,30 +239,163 @@ impl Tensor {
 
     /// Matrix product `self · other`.
     ///
+    /// Runs the blocked micro-kernel, splitting output rows across rayon
+    /// worker threads when the product is large enough. Bit-identical to
+    /// [`Tensor::matmul_reference`] for every shape and thread count.
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided output tensor
+    /// (overwritten, not accumulated). Lets callers reuse buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul out shape");
+        out.fill_zero();
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if reference_forced() {
+            reference_mm(&self.data, k, &other.data, n, &mut out.data);
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        run_row_chunks(m, n, m * n * k, &mut out.data, |r0, chunk| {
+            mm_rows(a, k, b, n, chunk, r0);
+        });
+    }
+
+    /// Fused transposed product `selfᵀ · other` (`self [k×m]`, `other
+    /// [k×n]` → `[m×n]`), without materializing the transpose.
+    ///
+    /// Bit-identical to `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts (the shared `k` dimension) disagree.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_at_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_at`] into a caller-provided output (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or wrong `out` shape.
+    pub fn matmul_at_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_at out shape");
+        out.fill_zero();
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if reference_forced() {
+            // Pre-optimization shape of the computation: materialize the
+            // transpose, then run the naive kernel. Bit-identical because
+            // the element summation order is unchanged.
+            let at = self.transpose();
+            reference_mm(&at.data, k, &other.data, n, &mut out.data);
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        run_row_chunks(m, n, m * n * k, &mut out.data, |r0, chunk| {
+            mm_at_rows(a, m, k, b, n, chunk, r0);
+        });
+    }
+
+    /// Fused transposed product `self · otherᵀ` (`self [m×k]`, `other
+    /// [n×k]` → `[m×n]`). Internally transposes `other` once (an O(n·k)
+    /// copy of the small operand) and runs the blocked kernel.
+    ///
+    /// Bit-identical to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts (the shared `k` dimension) disagree.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_bt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_bt`] into a caller-provided output (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or wrong `out` shape.
+    pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt {}x{} ·ᵀ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_bt out shape");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            out.fill_zero();
+            return;
+        }
+        // Contracting along rows of both operands means every output
+        // element is a dot product — which the strict ascending-`k` order
+        // forces to stay scalar. Transposing `other` first costs only
+        // O(n·k) against O(m·n·k) compute and unlocks the vectorized
+        // blocked kernel, which beats scalar dot chains at every shape we
+        // care about. `other` is the small operand here (the tape uses
+        // `bt` for `∂loss/∂A = g · Bᵀ` where `B` is a weight matrix).
+        let bt = other.transpose();
+        out.fill_zero();
+        if reference_forced() {
+            reference_mm(&self.data, k, &bt.data, n, &mut out.data);
+            return;
+        }
+        let a = &self.data;
+        let b = &bt.data;
+        run_row_chunks(m, n, m * n * k, &mut out.data, |r0, chunk| {
+            mm_rows(a, k, b, n, chunk, r0);
+        });
+    }
+
+    /// The naive serial three-loop matmul (`i-k-j` order), kept as the
+    /// bit-exact reference oracle for the optimized kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams both inputs row-major.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        reference_mm(&self.data, self.cols, &other.data, other.cols, &mut out.data);
         out
     }
 
@@ -289,6 +472,214 @@ impl Tensor {
     /// Fill with zeros in place.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+/// The naive serial i-k-j matmul over flat buffers: `out += a · b` with
+/// `a [m×k]`, `b [k×n]`, `out [m×n]` (caller zeroes `out`). No zero-skip:
+/// `0 * NaN` must stay `NaN`.
+fn reference_mm(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    let m = out.len() / n;
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Split an `m×n` output across rayon workers by disjoint row chunks and
+/// run `work(first_row, chunk)` on each; falls back to one call on the
+/// current thread for small products or a single worker. Chunk boundaries
+/// are multiples of [`MR`] so every chunk keeps full micro-kernel blocks.
+fn run_row_chunks<F>(m: usize, n: usize, flops: usize, out: &mut [f32], work: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    use rayon::prelude::*;
+    let threads = rayon::current_num_threads();
+    if threads > 1 && flops >= PAR_FLOPS && m > MR {
+        let chunk_rows = m.div_ceil(threads).div_ceil(MR).max(1) * MR;
+        out.par_chunks_mut(chunk_rows * n)
+            .enumerate()
+            .for_each(|(ci, chunk)| work(ci * chunk_rows, chunk));
+    } else {
+        work(0, out);
+    }
+}
+
+/// Blocked kernel for `out[r0 + i][j] += Σ_kk a[r0 + i][kk] * b[kk][j]`
+/// over the rows covered by `out` (a chunk of the full output). `a` is the
+/// full `[?×k]` input, `b` the full `[k×n]` input.
+///
+/// The output is tiled into `MR×NR` register blocks; each block runs the
+/// whole `k` loop with its partial sums in registers ([`mm_micro`]), so
+/// each output element still accumulates in ascending-`kk` order while the
+/// inner loop is a dense grid of independent fused multiply-adds.
+fn mm_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32], r0: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut i = 0;
+    while i + MR <= rows {
+        mm_row_block::<MR>(a, k, b, n, out, r0 + i, i);
+        i += MR;
+    }
+    while i < rows {
+        mm_row_block::<1>(a, k, b, n, out, r0 + i, i);
+        i += 1;
+    }
+}
+
+/// Sweep one block of `R` output rows across all column tiles.
+#[allow(clippy::too_many_arguments)]
+fn mm_row_block<const R: usize>(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    ar0: usize,
+    i: usize,
+) {
+    let mut jb = 0;
+    while jb + NR <= n {
+        mm_micro::<R, NR>(a, k, b, n, out, ar0, i, jb);
+        jb += NR;
+    }
+    while jb + 4 <= n {
+        mm_micro::<R, 4>(a, k, b, n, out, ar0, i, jb);
+        jb += 4;
+    }
+    while jb < n {
+        mm_micro::<R, 1>(a, k, b, n, out, ar0, i, jb);
+        jb += 1;
+    }
+}
+
+/// `R×C` register-tile micro-kernel: `out[i..i+R][jb..jb+C] += a[ar0..ar0+R][:] · b[:][jb..jb+C]`.
+///
+/// Partial sums stay in `acc` for the whole `k` loop and are added to
+/// `out` once at the end. `acc` starts at `+0.0` and `out` is zeroed by
+/// the caller, so the final `+=` is a bitwise no-op relative to the
+/// reference's running in-place sum.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mm_micro<const R: usize, const C: usize>(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    ar0: usize,
+    i: usize,
+    jb: usize,
+) {
+    let a_rows: [&[f32]; R] = std::array::from_fn(|r| &a[(ar0 + r) * k..(ar0 + r + 1) * k]);
+    let mut acc = [[0.0f32; C]; R];
+    for kk in 0..k {
+        let b_tile = &b[kk * n + jb..kk * n + jb + C];
+        for r in 0..R {
+            let av = a_rows[r][kk];
+            for t in 0..C {
+                acc[r][t] += av * b_tile[t];
+            }
+        }
+    }
+    for r in 0..R {
+        let o = &mut out[(i + r) * n + jb..(i + r) * n + jb + C];
+        for t in 0..C {
+            o[t] += acc[r][t];
+        }
+    }
+}
+
+/// [`mm_rows`] for the fused `aᵀ · b` product: `a` is `[k×m]` and the
+/// `A`-side loads walk down a column (`a[kk * m + row]`) instead of along
+/// a row — no transposed copy is ever built.
+fn mm_at_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], r0: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut i = 0;
+    while i + MR <= rows {
+        mm_at_row_block::<MR>(a, m, k, b, n, out, r0 + i, i);
+        i += MR;
+    }
+    while i < rows {
+        mm_at_row_block::<1>(a, m, k, b, n, out, r0 + i, i);
+        i += 1;
+    }
+}
+
+/// Sweep one block of `R` output rows of `aᵀ · b` across all column tiles.
+#[allow(clippy::too_many_arguments)]
+fn mm_at_row_block<const R: usize>(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    c0: usize,
+    i: usize,
+) {
+    let mut jb = 0;
+    while jb + NR <= n {
+        mm_at_micro::<R, NR>(a, m, k, b, n, out, c0, i, jb);
+        jb += NR;
+    }
+    while jb + 4 <= n {
+        mm_at_micro::<R, 4>(a, m, k, b, n, out, c0, i, jb);
+        jb += 4;
+    }
+    while jb < n {
+        mm_at_micro::<R, 1>(a, m, k, b, n, out, c0, i, jb);
+        jb += 1;
+    }
+}
+
+/// [`mm_micro`] for `aᵀ · b`: the `R` `A`-values per `k` step are the
+/// contiguous run `a[kk*m + c0 .. kk*m + c0 + R]` (one `B`-style row
+/// slice), so the transpose costs nothing.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mm_at_micro<const R: usize, const C: usize>(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    c0: usize,
+    i: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; C]; R];
+    for kk in 0..k {
+        let a_tile = &a[kk * m + c0..kk * m + c0 + R];
+        let b_tile = &b[kk * n + jb..kk * n + jb + C];
+        for r in 0..R {
+            let av = a_tile[r];
+            for t in 0..C {
+                acc[r][t] += av * b_tile[t];
+            }
+        }
+    }
+    for r in 0..R {
+        let o = &mut out[(i + r) * n + jb..(i + r) * n + jb + C];
+        for t in 0..C {
+            o[t] += acc[r][t];
+        }
     }
 }
 
@@ -392,6 +783,120 @@ mod tests {
     #[test]
     fn scalar_item() {
         assert_eq!(Tensor::scalar(4.5).item(), 4.5);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero() {
+        // 0 * NaN must be NaN — the old zero-skip branch broke this.
+        let a = Tensor::from_rows(&[&[0.0, 1.0]]);
+        let b = Tensor::from_rows(&[&[f32::NAN], &[2.0]]);
+        assert!(a.matmul(&b).item().is_nan());
+        let inf = Tensor::from_rows(&[&[f32::INFINITY], &[2.0]]);
+        assert!(a.matmul(&inf).item().is_nan()); // 0 * inf = NaN
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::uniform(rows, cols, 2.0, &mut rng)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (17, 300, 9), (64, 64, 64), (130, 33, 7)] {
+            let a = random_tensor(m, k, 1);
+            let b = random_tensor(k, n, 2);
+            assert_eq!(a.matmul(&b), a.matmul_reference(&b), "{m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_transposed_variants_match_materialized_transpose() {
+        let a = random_tensor(37, 19, 3);
+        let b = random_tensor(37, 11, 4);
+        assert_eq!(a.matmul_at(&b), a.transpose().matmul_reference(&b));
+        let c = random_tensor(23, 19, 5);
+        assert_eq!(a.matmul_bt(&c), a.matmul_reference(&c.transpose()));
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_shapes() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(5, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let a = Tensor::zeros(3, 0);
+        let b = Tensor::zeros(0, 2);
+        assert_eq!(a.matmul(&b), Tensor::zeros(3, 2));
+        let a = random_tensor(1, 9, 6);
+        let b = random_tensor(9, 1, 7);
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = random_tensor(6, 8, 8);
+        let b = random_tensor(8, 4, 9);
+        let mut out = Tensor::full(6, 4, 123.0); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul_reference(&b));
+    }
+
+    /// Diagnostic (not a correctness test): prints blocked-vs-reference
+    /// timings on shapes representative of the GNN training workload.
+    /// Run with:
+    /// `cargo test -p tpu-nn --release kernel_timing -- --ignored --nocapture`
+    #[test]
+    #[ignore = "manual timing diagnostic"]
+    fn kernel_timing() {
+        let time = |f: &dyn Fn()| {
+            f(); // warm
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = std::time::Instant::now();
+                for _ in 0..50 {
+                    f();
+                }
+                best = best.min(t0.elapsed().as_secs_f64() / 50.0);
+            }
+            best * 1e6 // µs
+        };
+        for &(m, k, n) in &[
+            (200usize, 64usize, 48usize),
+            (200, 48, 48),
+            (600, 48, 48),
+            (200, 48, 1),
+            (256, 256, 256),
+        ] {
+            let a = random_tensor(m, k, 1);
+            let b = random_tensor(k, n, 2);
+            let out = Tensor::zeros(m, n);
+            let blocked = time(&|| a.matmul_into(&b, &mut out.clone()));
+            force_reference_matmul(true);
+            let reference = time(&|| a.matmul_into(&b, &mut out.clone()));
+            force_reference_matmul(false);
+            println!("mm {m}x{k}x{n}: blocked {blocked:.1}us reference {reference:.1}us");
+
+            let at = a.transpose();
+            let blocked = time(&|| {
+                let _ = at.matmul_at(&b);
+            });
+            force_reference_matmul(true);
+            let reference = time(&|| {
+                let _ = at.matmul_at(&b);
+            });
+            force_reference_matmul(false);
+            println!("at {m}x{k}x{n}: blocked {blocked:.1}us reference {reference:.1}us");
+
+            let bt = b.transpose();
+            let blocked = time(&|| {
+                let _ = a.matmul_bt(&bt);
+            });
+            force_reference_matmul(true);
+            let reference = time(&|| {
+                let _ = a.matmul_bt(&bt);
+            });
+            force_reference_matmul(false);
+            println!("bt {m}x{k}x{n}: blocked {blocked:.1}us reference {reference:.1}us");
+        }
     }
 
     #[test]

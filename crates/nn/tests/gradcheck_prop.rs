@@ -76,8 +76,8 @@ proptest! {
 
     #[test]
     fn random_segment_pipeline_gradients(w in arb_matrix(4, 3)) {
-        use std::rc::Rc;
-        let seg = Rc::new(vec![0usize, 1, 0, 1]);
+        use std::sync::Arc;
+        let seg = Arc::new(vec![0usize, 1, 0, 1]);
         check(w, move |t, p| {
             let summed = t.segment_sum(p, seg.clone(), 2);
             let m = t.segment_mean(p, seg.clone(), 2);

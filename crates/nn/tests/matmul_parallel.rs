@@ -1,0 +1,38 @@
+//! Parallel-path equivalence: with multiple rayon threads forced on, the
+//! row-chunked matmul must still be bit-identical to the serial reference.
+//!
+//! This lives in its own integration-test binary (own process) because it
+//! mutates `RAYON_NUM_THREADS`, which other tests read.
+
+use tpu_nn::Tensor;
+
+#[test]
+fn parallel_matmul_is_bit_identical_to_reference() {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    for threads in ["2", "4", "7"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        // All large enough to clear the 2^20-flop parallelism threshold;
+        // row counts chosen to not divide evenly into chunks.
+        for &(m, k, n) in &[(128usize, 128usize, 128usize), (257, 80, 70), (97, 120, 140)] {
+            let a = Tensor::from_vec(m, k, (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect());
+            let b = Tensor::from_vec(k, n, (0..k * n).map(|i| (i as f32 * 0.71).cos()).collect());
+            let got = a.matmul(&b);
+            let want = a.matmul_reference(&b);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}·{k}x{n} @ {threads} threads");
+            }
+            let got = a.transpose().matmul_at(&b);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "at {m}x{k}·{k}x{n} @ {threads} threads");
+            }
+            let got = a.matmul_bt(&b.transpose());
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bt {m}x{k}·{k}x{n} @ {threads} threads");
+            }
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

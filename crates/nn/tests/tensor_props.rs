@@ -72,3 +72,112 @@ proptest! {
         prop_assert_eq!(one.data(), fused.data());
     }
 }
+
+/// Assert two tensors are equal down to the bit pattern of every element
+/// (stricter than `==`, which calls `0.0 == -0.0` equal).
+fn assert_bits_equal(got: &Tensor, want: &Tensor) {
+    assert_eq!(got.shape(), want.shape());
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "element {i} differs: {x} vs {y}");
+    }
+}
+
+/// How the second operand of a generated matmul pair is laid out.
+#[derive(Clone, Copy)]
+enum MmLayout {
+    /// `a: [m×k]`, `b: [k×n]` — plain `matmul`.
+    Plain,
+    /// `a: [k×m]`, `b: [k×n]` — fused `matmul_at`.
+    ATransposed,
+    /// `a: [m×k]`, `b: [n×k]` — fused `matmul_bt`.
+    BTransposed,
+}
+
+/// Strategy for matmul operand pairs with *dependent* shapes (the stub
+/// proptest has no `prop_flat_map`). Dimension ranges are chosen so
+/// `m·k·n` spans the blocked kernel's parallelism threshold (2^17
+/// multiply-adds) in both directions, and degenerate rows/cols (0 and 1)
+/// come up.
+struct MmPair(MmLayout);
+
+impl proptest::strategy::Strategy for MmPair {
+    type Value = (Tensor, Tensor);
+
+    fn generate(&self, rng: &mut proptest::TestRng) -> (Tensor, Tensor) {
+        let m = rng.below(96) as usize;
+        let k = rng.below(96) as usize;
+        let n = rng.below(48) as usize;
+        let mut fill = |rows: usize, cols: usize| {
+            let data = (0..rows * cols)
+                .map(|_| (rng.unit_f64() * 20.0 - 10.0) as f32)
+                .collect();
+            Tensor::from_vec(rows, cols, data)
+        };
+        match self.0 {
+            MmLayout::Plain => (fill(m, k), fill(k, n)),
+            MmLayout::ATransposed => (fill(k, m), fill(k, n)),
+            MmLayout::BTransposed => (fill(m, k), fill(n, k)),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference((a, b) in MmPair(MmLayout::Plain)) {
+        assert_bits_equal(&a.matmul(&b), &a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn matmul_at_is_bit_identical_to_transposed_reference(
+        (a, b) in MmPair(MmLayout::ATransposed)
+    ) {
+        // a: [k×m] here — matmul_at contracts over rows.
+        assert_bits_equal(&a.matmul_at(&b), &a.transpose().matmul_reference(&b));
+    }
+
+    #[test]
+    fn matmul_bt_is_bit_identical_to_transposed_reference(
+        (a, bt) in MmPair(MmLayout::BTransposed)
+    ) {
+        assert_bits_equal(&a.matmul_bt(&bt), &a.matmul_reference(&bt.transpose()));
+    }
+}
+
+#[test]
+fn matmul_edge_shapes_match_reference() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (0, 0, 0),
+        (0, 5, 3),
+        (3, 0, 2),
+        (2, 4, 0),
+        (1, 1, 1),
+        (1, 300, 1),
+        (1, 64, 48),   // single output row
+        (48, 64, 1),   // single output column
+        (4, 4, 4),
+        (63, 33, 47),  // just below the parallel threshold
+        (64, 32, 64),  // exactly at the threshold (2^17 flops)
+        (65, 40, 70),  // above it
+        (5, 1000, 3),  // spans multiple KC k-panels
+    ];
+    for &(m, k, n) in shapes {
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|i| (i as f32).sin()).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|i| (i as f32).cos()).collect());
+        let got = a.matmul(&b);
+        let want = a.matmul_reference(&b);
+        assert_eq!(got.shape(), want.shape(), "{m}x{k}·{k}x{n}");
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}·{k}x{n}");
+        }
+        let at = a.transpose();
+        let got = at.matmul_at(&b);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "at {m}x{k}·{k}x{n}");
+        }
+        let bt = b.transpose();
+        let got = a.matmul_bt(&bt);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bt {m}x{k}·{k}x{n}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Training must be bit-identical regardless of how many rayon threads
+//! execute the data-parallel shards: the shard count is fixed by
+//! `TrainConfig::shards` and gradients are reduced in shard order, so the
+//! thread count only changes scheduling, never arithmetic.
+//!
+//! This lives in its own integration-test binary because it mutates
+//! `RAYON_NUM_THREADS`, which other tests read. Everything runs inside a
+//! single `#[test]` so the set/restore sequence cannot race.
+
+use tpu_repro::hlo::{DType, GraphBuilder, Kernel, Shape};
+use tpu_repro::learned::{prepare, train, GnnConfig, GnnModel, KernelModel, Sample, TrainConfig};
+use tpu_repro::sim::{kernel_time_ns, TpuConfig};
+
+fn ew_kernel(rows: usize, cols: usize) -> Kernel {
+    let mut b = GraphBuilder::new("k");
+    let x = b.parameter("x", Shape::matrix(rows, cols), DType::F32);
+    let t = b.tanh(x);
+    let e = b.exp(t);
+    Kernel::new(b.finish(e))
+}
+
+/// Run a short training job from a fixed init and return the per-epoch
+/// losses plus the final serialized parameters.
+fn run_once() -> (Vec<f64>, String) {
+    let hw = TpuConfig::default();
+    let sizes = [
+        (64, 128),
+        (128, 256),
+        (256, 256),
+        (512, 512),
+        (1024, 512),
+        (1024, 1024),
+        (2048, 1024),
+        (32, 2048),
+    ];
+    let samples: Vec<Sample> = sizes
+        .iter()
+        .map(|&(r, c)| {
+            let k = ew_kernel(r, c);
+            let t = kernel_time_ns(&k, &hw);
+            Sample::new(k, t)
+        })
+        .collect();
+    let prepared = prepare(&samples);
+    let (train_set, val_set) = prepared.split_at(6);
+
+    let mut model = GnnModel::new(GnnConfig {
+        hidden: 16,
+        opcode_embed_dim: 8,
+        hops: 1,
+        ..Default::default()
+    });
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        lr: 5e-3,
+        shards: 4,
+        ..Default::default()
+    };
+    let report = train(&mut model, train_set, val_set, &cfg);
+    (report.train_loss, model.params().to_json())
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (losses_serial, params_serial) = run_once();
+
+    for threads in ["2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let (losses, params) = run_once();
+        assert_eq!(
+            losses_serial.len(),
+            losses.len(),
+            "epoch count differs at {threads} threads"
+        );
+        for (epoch, (a, b)) in losses_serial.iter().zip(&losses).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "epoch {epoch} loss differs at {threads} threads: {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            params_serial, params,
+            "final parameters differ at {threads} threads"
+        );
+    }
+
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

@@ -1,11 +1,13 @@
 //! Offline vendored rayon subset.
 //!
 //! Provides `.par_iter()` over slices and `Vec`s with order-preserving
-//! `map`, `flat_map`, `enumerate`, and `collect`, executed on
-//! `std::thread::scope` worker threads. The thread count honours
-//! `RAYON_NUM_THREADS` (falling back to available parallelism), so
-//! `RAYON_NUM_THREADS=1` forces a fully serial execution — results are
-//! identical either way because adapters preserve input order exactly.
+//! `map`, `flat_map`, `enumerate`, and `collect`, executed on a
+//! persistent worker pool (threads are spawned once and reused, so a
+//! parallel call costs a queue push, not a thread spawn). The thread
+//! count honours `RAYON_NUM_THREADS` (falling back to available
+//! parallelism), so `RAYON_NUM_THREADS=1` forces a fully serial
+//! execution — results are identical either way because adapters
+//! preserve input order exactly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -19,10 +21,163 @@ pub fn current_num_threads() -> usize {
     }
 }
 
+/// The persistent worker pool behind every parallel adapter.
+///
+/// Tasks are lifetime-erased closures; safety comes from the submitting
+/// call blocking (in [`Latch::wait_help`]) until every task it enqueued
+/// has completed, so borrows inside a task never outlive the caller's
+/// stack frame. Waiting threads *help*: they pop and run queued tasks —
+/// including tasks from unrelated or nested calls — which both keeps the
+/// CPU busy and makes nested `parallel_map` calls deadlock-free even when
+/// all workers are occupied by outer tasks.
+mod pool {
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// A lifetime-erased unit of work. Every task submitted through
+    /// [`submit`] catches its own panics (recording them in its latch),
+    /// so running one never unwinds into the thread that happens to
+    /// execute it.
+    pub(crate) type Task = Box<dyn FnOnce() + Send>;
+
+    struct Shared {
+        queue: Mutex<VecDeque<Task>>,
+        ready: Condvar,
+        workers: Mutex<usize>,
+    }
+
+    /// Upper bound on pool threads, far above any sane
+    /// `RAYON_NUM_THREADS`; waiters help run tasks, so a low cap would
+    /// still make progress.
+    const MAX_WORKERS: usize = 32;
+
+    fn shared() -> &'static Shared {
+        static SHARED: OnceLock<Shared> = OnceLock::new();
+        SHARED.get_or_init(|| Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            workers: Mutex::new(0),
+        })
+    }
+
+    /// Make sure at least `n` workers exist (capped), spawning the
+    /// missing ones. Workers live for the process lifetime.
+    pub(crate) fn ensure_workers(n: usize) {
+        let s = shared();
+        let mut count = s.workers.lock().unwrap();
+        while *count < n.min(MAX_WORKERS) {
+            *count += 1;
+            std::thread::Builder::new()
+                .name("rayon-stub-worker".into())
+                .spawn(|| worker_loop(shared()))
+                .expect("spawn pool worker");
+        }
+    }
+
+    fn worker_loop(s: &'static Shared) {
+        let mut q = s.queue.lock().unwrap();
+        loop {
+            if let Some(task) = q.pop_front() {
+                drop(q);
+                task();
+                q = s.queue.lock().unwrap();
+            } else {
+                q = s.ready.wait(q).unwrap();
+            }
+        }
+    }
+
+    /// Enqueue a task for any worker (or helping waiter) to run.
+    pub(crate) fn submit(task: Task) {
+        let s = shared();
+        s.queue.lock().unwrap().push_back(task);
+        s.ready.notify_one();
+    }
+
+    /// Steal one queued task, if any.
+    pub(crate) fn try_pop() -> Option<Task> {
+        shared().queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Completion latch for one `parallel_map` call: counts outstanding
+/// helper tasks and stores the first panic any of them caught.
+struct Latch {
+    state: std::sync::Mutex<LatchState>,
+    done: std::sync::Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Latch {
+        Latch {
+            state: std::sync::Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Record one helper task finishing (with its panic payload, if it
+    /// caught one) and wake the waiter.
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        self.done.notify_all();
+    }
+
+    /// Block until every helper task has completed, running queued pool
+    /// tasks while waiting so nested parallel calls cannot deadlock.
+    fn wait_help(&self) {
+        loop {
+            {
+                let st = self.state.lock().unwrap();
+                if st.remaining == 0 {
+                    return;
+                }
+            }
+            if let Some(task) = pool::try_pop() {
+                task();
+                continue;
+            }
+            let st = self.state.lock().unwrap();
+            if st.remaining == 0 {
+                return;
+            }
+            // Nothing to steal: our tasks are running on other threads.
+            drop(self.done.wait(st).unwrap());
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+/// Waits on the latch even if the calling thread's own share of the work
+/// panics — helper tasks borrow the caller's stack and must all finish
+/// before it unwinds.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_help();
+    }
+}
+
 /// Order-preserving parallel map: `out[i] = f(items[i])`.
 ///
 /// Work is claimed dynamically in contiguous blocks so uneven per-item
-/// costs still balance across threads.
+/// costs still balance across threads. The calling thread participates;
+/// `threads - 1` helper tasks go to the persistent pool.
 fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     F: Fn(T) -> U + Sync,
@@ -41,20 +196,43 @@ where
     let next = AtomicUsize::new(0);
     let block = (n / (threads * 4)).max(1);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(block, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                for i in start..(start + block).min(n) {
-                    let item = inputs[i].lock().unwrap().take().expect("item claimed twice");
-                    *slots[i].lock().unwrap() = Some(f(item));
-                }
-            });
+    let run_claims = || loop {
+        let start = next.fetch_add(block, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
-    });
+        for i in start..(start + block).min(n) {
+            let item = inputs[i].lock().unwrap().take().expect("item claimed twice");
+            *slots[i].lock().unwrap() = Some(f(item));
+        }
+    };
+
+    let helpers = threads - 1;
+    let latch = Latch::new(helpers);
+    pool::ensure_workers(helpers);
+    {
+        let latch_ref = &latch;
+        let run_ref = &run_claims;
+        for _ in 0..helpers {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_ref));
+                latch_ref.complete(result.err());
+            });
+            // SAFETY: the task borrows `latch`, `run_claims`, and their
+            // captives on this stack frame. The `WaitGuard` below blocks
+            // this frame (even through an unwind) until `latch` counts
+            // every submitted task complete, so the erased lifetime can
+            // never dangle.
+            let task: pool::Task = unsafe { std::mem::transmute(task) };
+            pool::submit(task);
+        }
+        let guard = WaitGuard(&latch);
+        run_claims();
+        drop(guard);
+    }
+    if let Some(p) = latch.take_panic() {
+        std::panic::resume_unwind(p);
+    }
 
     slots
         .into_iter()
@@ -109,6 +287,11 @@ impl<T: Send> ParIter<T> {
     /// Materialize into any `FromIterator` collection, preserving order.
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
+    }
+
+    /// Run a side-effecting closure on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
     }
 
     /// Sum the items.
@@ -172,9 +355,31 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     }
 }
 
+/// `.par_chunks_mut()` over mutable slices: disjoint chunks processed in
+/// parallel. The chunks are plain `chunks_mut` pieces, so writes through
+/// them never alias and the result is independent of thread scheduling.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of at most `chunk_size` items (the last
+    /// chunk may be shorter) and expose them as a parallel iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// Everything call sites import.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -205,6 +410,55 @@ mod tests {
             .map(|(i, s)| format!("{i}{s}"))
             .collect();
         assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + i;
+            }
+        });
+        let expect: Vec<usize> = (0..103).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // Outer tasks occupy workers while each runs an inner parallel
+        // map; the help-while-waiting pool must not deadlock.
+        let out: Vec<usize> = (0..8usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..50usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|j| i * 100 + j)
+                    .collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..50).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..100).collect();
+            let _: Vec<usize> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 57 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
     }
 
     #[test]
