@@ -29,6 +29,7 @@
 //! ```
 
 mod calibrate;
+mod cost_model;
 mod model;
 
 pub use calibrate::Calibration;

@@ -1,10 +1,24 @@
 //! The §6.3 experiment protocol: autotuning under a limited hardware
 //! budget, with and without the learned performance model.
+//!
+//! Both evaluation paths are packaged as [`BatchObjective`]s so the
+//! annealer never touches a device or a model directly:
+//!
+//! - [`HardwareObjective`] owns the hardware-budget accounting — every
+//!   measurement, whether it comes from the annealer or from the top-k
+//!   re-rank loop, goes through [`HardwareObjective::measure`] and is
+//!   metered identically;
+//! - [`ModelObjective`] scores a whole batch of candidate configs through
+//!   a [`Predictor`] session: fuse all candidates (in parallel), flatten
+//!   their kernels, and resolve them in one predictor call so all chains'
+//!   cache misses share a single packed model forward.
 
-use crate::sa::{simulated_annealing, SaConfig};
+use crate::sa::{simulated_annealing, BatchObjective, SaConfig};
+use rayon::prelude::*;
+use std::sync::Arc;
 use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpace};
-use tpu_hlo::{FusedProgram, Program};
-use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache};
+use tpu_hlo::{FusedProgram, Kernel, Program};
+use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache, Predictor};
 use tpu_sim::TpuDevice;
 
 /// Where the search starts (§6.3 runs the autotuner "in two modes").
@@ -27,6 +41,10 @@ pub struct Budgets {
     pub best_known_ns: f64,
     /// How many model-ranked configs to re-measure on hardware.
     pub top_k: usize,
+    /// Parallel annealing chains in the model-guided phase. The step
+    /// budget is shared across chains; more chains means bigger model
+    /// batches per step, not more evaluations.
+    pub chains: usize,
 }
 
 impl Default for Budgets {
@@ -36,6 +54,7 @@ impl Default for Budgets {
             model_steps: 4_000,     // "one hour on a CPU"
             best_known_ns: 14_400e9, // 4 hours
             top_k: 16,
+            chains: 4,
         }
     }
 }
@@ -49,29 +68,145 @@ pub struct TunedConfig {
     pub true_ns: f64,
     /// Hardware evaluations spent.
     pub hw_evals: usize,
-    /// Fresh model evaluations during the model-guided phase (cache
-    /// misses); 0 for hardware-only runs.
+    /// Fresh model evaluations during the model-guided phase (distinct
+    /// cache misses handed to the backend); 0 for hardware-only runs.
     pub model_evals: u64,
     /// Per-kernel predictions served from the cache; 0 for hardware-only
     /// runs.
     pub cache_hits: u64,
+    /// Batched backend calls in the model-guided phase (for the neural
+    /// models: packed forward passes); 0 for hardware-only runs.
+    pub model_batches: u64,
 }
 
-/// Evaluate a config's program runtime on the device (one noisy run plus
-/// the compile/eval overhead), or `None` if the budget is exhausted.
-fn hw_eval(
-    program: &Program,
-    space: &FusionSpace,
-    config: &FusionConfig,
-    device: &TpuDevice,
+/// The hardware evaluation path, with its budget accounting.
+///
+/// Every measurement — annealer candidates and top-k re-ranking alike —
+/// goes through [`HardwareObjective::measure`], which charges the
+/// compile/eval overhead and one noisy program run against the device
+/// budget. As a [`BatchObjective`] it evaluates candidates sequentially
+/// (hardware is a serial resource) and reports `f64::NAN` once the budget
+/// is exhausted.
+pub struct HardwareObjective<'a> {
+    program: &'a Program,
+    space: &'a FusionSpace,
+    device: &'a TpuDevice,
     budget_ns: f64,
-) -> Option<f64> {
-    if device.device_time_used() >= budget_ns {
-        return None;
+    hw_evals: usize,
+}
+
+impl<'a> HardwareObjective<'a> {
+    pub fn new(
+        program: &'a Program,
+        space: &'a FusionSpace,
+        device: &'a TpuDevice,
+        budget_ns: f64,
+    ) -> HardwareObjective<'a> {
+        HardwareObjective {
+            program,
+            space,
+            device,
+            budget_ns,
+            hw_evals: 0,
+        }
     }
-    device.charge_eval_overhead();
-    let fused = apply_fusion(program, space, config);
-    Some(device.execute_program(&fused))
+
+    /// One metered measurement: the compile/eval overhead plus one noisy
+    /// run, or `None` if the budget is already spent.
+    pub fn measure(&mut self, config: &FusionConfig) -> Option<f64> {
+        if self.device.device_time_used() >= self.budget_ns {
+            return None;
+        }
+        self.device.charge_eval_overhead();
+        let fused = apply_fusion(self.program, self.space, config);
+        self.hw_evals += 1;
+        Some(self.device.execute_program(&fused))
+    }
+
+    /// Measurements performed so far.
+    pub fn hw_evals(&self) -> usize {
+        self.hw_evals
+    }
+}
+
+impl BatchObjective for HardwareObjective<'_> {
+    fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(configs.len());
+        let mut exhausted = false;
+        for cfg in configs {
+            if exhausted {
+                out.push(f64::NAN);
+                continue;
+            }
+            match self.measure(cfg) {
+                Some(t) => out.push(t),
+                None => {
+                    exhausted = true;
+                    out.push(f64::NAN);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The model evaluation path: predicted program runtime through a shared
+/// [`Predictor`] session.
+///
+/// A batch of `C` candidate configs becomes: `C` parallel `apply_fusion`
+/// calls, one flattened kernel list, and **one** predictor call — so the
+/// distinct cache misses of all chains are scored in a single packed model
+/// forward. A kernel the model cannot score makes its config rank last
+/// (infinite predicted cost).
+///
+/// Holds the predictor by reference so the caller keeps access to the
+/// session's [`PredictStats`](tpu_learned_cost::PredictStats) after the
+/// search consumes the objective.
+pub struct ModelObjective<'a, M: CostModel + ?Sized> {
+    program: &'a Program,
+    space: &'a FusionSpace,
+    predictor: &'a Predictor<&'a M>,
+}
+
+impl<'a, M: CostModel + ?Sized> ModelObjective<'a, M> {
+    pub fn new(
+        program: &'a Program,
+        space: &'a FusionSpace,
+        predictor: &'a Predictor<&'a M>,
+    ) -> ModelObjective<'a, M> {
+        ModelObjective {
+            program,
+            space,
+            predictor,
+        }
+    }
+}
+
+impl<M: CostModel + ?Sized> BatchObjective for ModelObjective<'_, M> {
+    fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+        let fused: Vec<FusedProgram> = configs
+            .par_iter()
+            .map(|cfg| apply_fusion(self.program, self.space, cfg))
+            .collect();
+        let mut spans = Vec::with_capacity(fused.len());
+        let mut refs: Vec<&Kernel> = Vec::new();
+        for fp in &fused {
+            let lo = refs.len();
+            refs.extend(fp.kernels.iter());
+            spans.push(lo..refs.len());
+        }
+        let (preds, _) = self.predictor.predict_ns_refs(&refs);
+        spans
+            .into_iter()
+            .map(|span| {
+                preds[span]
+                    .iter()
+                    .copied()
+                    .try_fold(0.0, |total, p| p.map(|ns| total + ns))
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect()
+    }
 }
 
 /// The starting configuration for a mode.
@@ -93,6 +228,9 @@ pub fn start_config(
 
 /// Baseline: "the original autotuner, which uses only the real hardware to
 /// evaluate fusion configs", running until the budget is spent.
+///
+/// Always single-chain: hardware measurements are serial and the annealer
+/// must see each result before proposing the next candidate.
 pub fn autotune_hardware_only(
     program: &Program,
     device: &TpuDevice,
@@ -103,23 +241,19 @@ pub fn autotune_hardware_only(
     let (space, _) = default_space_and_config(&program.computation);
     let start = start_config(program, &space, mode, seed);
     device.reset_time_used();
-    let mut hw_evals = 0usize;
+    let mut hw = HardwareObjective::new(program, &space, device, budget_ns);
     let result = simulated_annealing(
         &space,
         start.clone(),
-        |cfg| match hw_eval(program, &space, cfg, device, budget_ns) {
-            Some(t) => {
-                hw_evals += 1;
-                t
-            }
-            None => f64::NAN,
-        },
+        |cfg: &FusionConfig| hw.measure(cfg).unwrap_or(f64::NAN),
         &SaConfig {
             steps: usize::MAX >> 1,
             seed,
+            chains: 1,
             ..Default::default()
         },
     );
+    let hw_evals = hw.hw_evals();
     let best = if result.best_cost.is_finite() {
         result.best_config
     } else {
@@ -132,6 +266,7 @@ pub fn autotune_hardware_only(
         hw_evals,
         model_evals: 0,
         cache_hits: 0,
+        model_batches: 0,
     }
 }
 
@@ -151,26 +286,33 @@ where
     F: Fn(&tpu_hlo::Kernel) -> f64,
 {
     let model = FnCostModel::new("closure", move |k: &tpu_hlo::Kernel| Some(kernel_cost(k)));
-    let cache = PredictionCache::new();
+    let cache = Arc::new(PredictionCache::new());
     autotune_with_cost_model(program, device, &model, &cache, mode, budgets, seed)
 }
 
-/// Model-guided: SA on the cost model for `model_steps` (no hardware),
-/// then the top-k model-ranked configs are measured on hardware within the
-/// budget and the best measured one wins (§6.3's protocol).
+/// Model-guided: multi-chain SA on the cost model for `model_steps` (no
+/// hardware), then the top-k model-ranked configs are measured on hardware
+/// within the budget and the best measured one wins (§6.3's protocol).
 ///
-/// Per-kernel predictions are served through `cache` (keyed by canonical
-/// kernel hash), which is what makes the model evaluations "cheap" relative
-/// to hardware: SA neighbourhoods share most kernels between configs.
-/// Passing the same cache across runs on the same program carries
-/// predictions over — revisiting a configuration costs zero fresh model
-/// evaluations. A kernel the model cannot score ([`CostModel`] returning
-/// `None`) makes its configs rank last (infinite predicted cost).
+/// The model phase runs `budgets.chains` annealing chains, each
+/// temperature step scoring all chains' candidates through one
+/// [`Predictor`] call — distinct cache misses share a single packed model
+/// forward. Predictions are keyed by canonical kernel hash in `cache`,
+/// which is what makes the model evaluations "cheap" relative to hardware:
+/// SA neighbourhoods share most kernels between configs. Passing the same
+/// cache across runs on the same program carries predictions over —
+/// revisiting a configuration costs zero fresh model evaluations. A kernel
+/// the model cannot score ([`CostModel`] returning `None`) makes its
+/// configs rank last (infinite predicted cost).
+///
+/// The tuned config is bit-identical for any `RAYON_NUM_THREADS` and any
+/// cache pre-warmth; it does depend on `budgets.chains` (different chain
+/// count, different search trajectory).
 pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     program: &Program,
     device: &TpuDevice,
     model: &M,
-    cache: &PredictionCache,
+    cache: &Arc<PredictionCache>,
     mode: StartMode,
     budgets: &Budgets,
     seed: u64,
@@ -179,37 +321,25 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     let start = start_config(program, &space, mode, seed);
 
     // Phase 1: model-guided annealing on the CPU.
-    let stats_before = cache.stats();
-    let predict_program = |fused: &FusedProgram| -> f64 {
-        fused
-            .kernels
-            .iter()
-            .map(|k| {
-                cache
-                    .get_or_compute(k, || model.predict_kernel_ns(k))
-                    .unwrap_or(f64::INFINITY)
-            })
-            .sum()
-    };
+    let predictor = Predictor::with_cache(model, Arc::clone(cache));
     let result = simulated_annealing(
         &space,
         start.clone(),
-        |cfg| {
-            let fused = apply_fusion(program, &space, cfg);
-            predict_program(&fused)
-        },
+        ModelObjective::new(program, &space, &predictor),
         &SaConfig {
             steps: budgets.model_steps,
             seed,
             top_k: budgets.top_k,
+            chains: budgets.chains.max(1),
             ..Default::default()
         },
     );
-    let stats_after = cache.stats();
+    let stats = predictor.stats();
 
-    // Phase 2: measure the model's top configs on real hardware, best
-    // measured wins. Include the start config as a safety net, mirroring
-    // the autotuner never doing worse than its starting point *when the
+    // Phase 2: measure the model's top configs on real hardware through
+    // the same metered path as the hardware-only tuner; best measured
+    // wins. Include the start config as a safety net, mirroring the
+    // autotuner never doing worse than its starting point *when the
     // hardware confirms it*.
     device.reset_time_used();
     let mut candidates: Vec<FusionConfig> =
@@ -217,12 +347,11 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     if !candidates.contains(&start) {
         candidates.push(start.clone());
     }
+    let mut hw = HardwareObjective::new(program, &space, device, budgets.hardware_ns);
     let mut best: Option<(FusionConfig, f64)> = None;
-    let mut hw_evals = 0;
     for cfg in candidates {
-        match hw_eval(program, &space, &cfg, device, budgets.hardware_ns) {
+        match hw.measure(&cfg) {
             Some(t) => {
-                hw_evals += 1;
                 if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
                     best = Some((cfg, t));
                 }
@@ -235,9 +364,10 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     TunedConfig {
         true_ns: device.true_program_time(&fused),
         config: chosen,
-        hw_evals,
-        model_evals: stats_after.misses - stats_before.misses,
-        cache_hits: stats_after.hits - stats_before.hits,
+        hw_evals: hw.hw_evals(),
+        model_evals: stats.model_evals,
+        cache_hits: stats.cache_hits,
+        model_batches: stats.model_batches,
     }
 }
 
@@ -279,6 +409,7 @@ mod tests {
             model_steps: 400,
             best_known_ns: 200e9,
             top_k: 6,
+            chains: 4,
         }
     }
 
@@ -347,5 +478,81 @@ mod tests {
         // Random depends on seed.
         let r2 = start_config(&p, &space, StartMode::Random, 1);
         assert_ne!(r, r2);
+    }
+
+    #[test]
+    fn model_phase_stats_are_reported_and_cache_carries_over() {
+        let p = program();
+        let cfg = TpuConfig::default();
+        let device = TpuDevice::new(5);
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        let cache = Arc::new(PredictionCache::new());
+        let cold = autotune_with_cost_model(
+            &p,
+            &device,
+            &model,
+            &cache,
+            StartMode::Default,
+            &quick_budgets(),
+            0,
+        );
+        assert!(cold.model_evals > 0, "cold run must evaluate the model");
+        assert!(cold.model_batches > 0);
+        // One batched backend call per annealer evaluate() at most.
+        assert!(cold.model_batches <= cold.model_evals);
+        // Fresh same-seed device so phase 2 sees the same measurement
+        // noise stream; only the cache warmth differs.
+        let device = TpuDevice::new(5);
+        let warm = autotune_with_cost_model(
+            &p,
+            &device,
+            &model,
+            &cache,
+            StartMode::Default,
+            &quick_budgets(),
+            0,
+        );
+        assert_eq!(warm.model_evals, 0, "warm cache: zero fresh evaluations");
+        assert_eq!(warm.config, cold.config, "same seed + warm cache, same answer");
+        assert!(warm.cache_hits > 0);
+    }
+
+    #[test]
+    fn chain_count_shares_the_step_budget() {
+        // More chains must not buy more model evaluations, only bigger
+        // batches: total per-kernel asks stay bounded by the step budget.
+        let p = program();
+        let cfg = TpuConfig::default();
+        let device = TpuDevice::new(7);
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        for chains in [1, 4] {
+            let cache = Arc::new(PredictionCache::new());
+            let budgets = Budgets {
+                chains,
+                ..quick_budgets()
+            };
+            let tuned = autotune_with_cost_model(
+                &p,
+                &device,
+                &model,
+                &cache,
+                StartMode::Random,
+                &budgets,
+                3,
+            );
+            let asks = tuned.cache_hits + tuned.model_evals;
+            // Each config evaluation asks about at most the unfused kernel
+            // count; +1 for the shared start evaluation, + slack for the
+            // final partial batch the annealer may request past the budget.
+            let max_kernels = p.computation.num_nodes() as u64;
+            assert!(
+                asks <= (budgets.model_steps as u64 + 1 + chains as u64) * max_kernels,
+                "chains={chains}: asks={asks}"
+            );
+        }
     }
 }

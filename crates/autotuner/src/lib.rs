@@ -7,7 +7,18 @@
 //! model-guided autotuner discovers faster configurations than hardware
 //! alone (Fig. 4).
 //!
-//! - [`simulated_annealing`] — the annealer, generic over any objective,
+//! The annealer is batch-first: it runs several independent chains and
+//! scores each temperature step's candidates through one
+//! [`BatchObjective::evaluate`] call. The model-guided objective turns
+//! that into a single packed model forward over all chains' cache misses,
+//! while hardware stays a serial, budget-metered resource. Results are
+//! bit-identical for any `RAYON_NUM_THREADS`.
+//!
+//! - [`simulated_annealing`] — the multi-chain annealer, generic over any
+//!   [`BatchObjective`] (any `FnMut(&FusionConfig) -> f64` qualifies),
+//! - [`HardwareObjective`] / [`ModelObjective`] — the two evaluation
+//!   paths, owning hardware-budget accounting and batched model serving
+//!   respectively,
 //! - [`autotune_hardware_only`] — the baseline autotuner under a hardware
 //!   budget,
 //! - [`autotune_with_model`] / [`autotune_with_cost_model`] — model-guided
@@ -41,8 +52,8 @@ mod sa;
 
 pub use harness::{
     autotune_hardware_only, autotune_with_cost_model, autotune_with_model, speedup_over_default,
-    start_config, Budgets, StartMode, TunedConfig,
+    start_config, Budgets, HardwareObjective, ModelObjective, StartMode, TunedConfig,
 };
 pub use baselines::{hill_climb, random_search, SearchResult};
 pub use random_search::random_configs;
-pub use sa::{simulated_annealing, SaConfig, SaResult};
+pub use sa::{simulated_annealing, BatchObjective, SaConfig, SaResult};

@@ -1,14 +1,63 @@
 //! Simulated annealing over fusion configurations (§6.3: "we run simulated
 //! annealing search using the learned performance model").
+//!
+//! The annealer is **batch-first**: it runs [`SaConfig::chains`]
+//! independent chains and presents each temperature step's candidates —
+//! one per chain — to the [`BatchObjective`] as a single slice. A
+//! model-backed objective turns that slice into one packed forward pass
+//! over all chains' cache misses, which is what lets the autotuner
+//! saturate the parallel numeric core instead of scoring one kernel batch
+//! per step.
+//!
+//! Determinism contract (the same one training established for gradient
+//! reduction): every chain owns a `ChaCha8Rng` seeded from
+//! ([`SaConfig::seed`], chain index), candidates are generated and results
+//! are reduced in ascending chain order, and any parallelism lives inside
+//! the objective's order-preserving batch evaluation — so the result is
+//! bit-identical for any `RAYON_NUM_THREADS`.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tpu_fusion::{FusionConfig, FusionSpace};
 
+/// An objective evaluated over a batch of candidate configurations.
+///
+/// `evaluate` returns one cost per config, positionally. Two sentinel
+/// values thread budget semantics through the search: `f64::INFINITY`
+/// rejects a configuration, and `f64::NAN` means "not evaluated — budget
+/// exhausted". Once an implementation returns NaN at some position it must
+/// return NaN at every later position of that call (and of later calls),
+/// so the annealer can stop at the first NaN without losing evaluations.
+///
+/// Any `FnMut(&FusionConfig) -> f64` closure is a `BatchObjective` via the
+/// blanket impl, which evaluates sequentially and stops calling the
+/// closure after its first NaN.
+pub trait BatchObjective {
+    /// Cost per candidate, positionally.
+    fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64>;
+}
+
+impl<F: FnMut(&FusionConfig) -> f64> BatchObjective for F {
+    fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(configs.len());
+        let mut exhausted = false;
+        for c in configs {
+            if exhausted {
+                out.push(f64::NAN);
+            } else {
+                let v = self(c);
+                exhausted = v.is_nan();
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
 /// Annealing schedule parameters.
 #[derive(Debug, Clone)]
 pub struct SaConfig {
-    /// Maximum number of candidate evaluations.
+    /// Maximum number of candidate evaluations (shared across chains).
     pub steps: usize,
     /// Initial temperature (relative cost scale).
     pub init_temp: f64,
@@ -21,6 +70,9 @@ pub struct SaConfig {
     /// Keep the best `top_k` distinct configs seen (for the §6.3 protocol
     /// of re-ranking model-chosen configs on real hardware).
     pub top_k: usize,
+    /// Independent annealing chains per temperature step; each step
+    /// presents this many candidates to the objective as one batch.
+    pub chains: usize,
 }
 
 impl Default for SaConfig {
@@ -32,6 +84,7 @@ impl Default for SaConfig {
             flips: 2,
             seed: 7,
             top_k: 16,
+            chains: 1,
         }
     }
 }
@@ -39,78 +92,108 @@ impl Default for SaConfig {
 /// Result of an annealing run.
 #[derive(Debug, Clone)]
 pub struct SaResult {
-    /// Best configuration found.
+    /// Best configuration found (ties broken toward the lowest chain index).
     pub best_config: FusionConfig,
     /// Its objective value.
     pub best_cost: f64,
-    /// Number of objective evaluations performed.
+    /// Number of candidate evaluations performed (including the start).
     pub evals: usize,
     /// The best `top_k` distinct configurations, ascending by cost.
     pub top: Vec<(FusionConfig, f64)>,
 }
 
-/// Run simulated annealing from `start`, minimizing `objective`.
+/// The RNG seed of a chain. The golden-ratio stride decorrelates chains
+/// while chain 0 keeps the bare seed, so a `chains == 1` run reproduces
+/// the historical single-chain stream bit-for-bit.
+fn chain_seed(seed: u64, chain: usize) -> u64 {
+    seed ^ (chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn push_top(cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfig, f64)>) {
+    if !cost.is_finite() {
+        return;
+    }
+    if top.iter().any(|(c, _)| c == cfg_) {
+        return;
+    }
+    top.push((cfg_.clone(), cost));
+    top.sort_by(|a, b| a.1.total_cmp(&b.1));
+    top.truncate(k);
+}
+
+/// Run [`SaConfig::chains`] annealing chains from `start`, minimizing
+/// `objective`.
 ///
-/// `objective` may return `f64::INFINITY` to reject a configuration. The
-/// search also stops early when `objective` signals exhaustion by
-/// returning `f64::NAN` (used by hardware-budgeted runs).
-pub fn simulated_annealing<F>(
+/// Per temperature step every live chain perturbs its current config with
+/// its own RNG (ascending chain order) and the candidates are scored with
+/// **one** [`BatchObjective::evaluate`] call. Acceptance, the top-k pool,
+/// and the global best are then reduced in ascending chain order with
+/// strict comparisons, so the winner is independent of how the objective
+/// parallelizes internally.
+///
+/// The search stops when `cfg.steps` candidate evaluations are spent or
+/// when the objective signals exhaustion by returning `f64::NAN` (used by
+/// hardware-budgeted runs).
+pub fn simulated_annealing<O>(
     space: &FusionSpace,
     start: FusionConfig,
-    mut objective: F,
+    mut objective: O,
     cfg: &SaConfig,
 ) -> SaResult
 where
-    F: FnMut(&FusionConfig) -> f64,
+    O: BatchObjective,
 {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut current = start.clone();
-    let mut current_cost = objective(&current);
+    let chains = cfg.chains.max(1);
+    let mut rngs: Vec<ChaCha8Rng> = (0..chains)
+        .map(|c| ChaCha8Rng::seed_from_u64(chain_seed(cfg.seed, c)))
+        .collect();
+
+    // All chains share one evaluation of the common start config.
+    let start_cost = objective.evaluate(std::slice::from_ref(&start))[0];
     let mut evals = 1;
     let mut top: Vec<(FusionConfig, f64)> = Vec::new();
-    let push_top = |cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfig, f64)>| {
-        if !cost.is_finite() {
-            return;
-        }
-        if top.iter().any(|(c, _)| c == cfg_) {
-            return;
-        }
-        top.push((cfg_.clone(), cost));
-        top.sort_by(|a, b| a.1.total_cmp(&b.1));
-        top.truncate(k);
-    };
-    if current_cost.is_nan() {
+    if start_cost.is_nan() {
         // Budget exhausted on the very first evaluation.
         return SaResult {
-            best_config: current.clone(),
+            best_config: start,
             best_cost: f64::INFINITY,
             evals,
             top,
         };
     }
-    push_top(&current, current_cost, cfg.top_k, &mut top);
-    let mut best = current.clone();
-    let mut best_cost = current_cost;
+    push_top(&start, start_cost, cfg.top_k, &mut top);
+    let mut current: Vec<FusionConfig> = vec![start.clone(); chains];
+    let mut current_cost: Vec<f64> = vec![start_cost; chains];
+    let mut best = start;
+    let mut best_cost = start_cost;
 
-    for step in 0..cfg.steps {
-        let frac = step as f64 / cfg.steps.max(1) as f64;
+    let mut steps_done = 0usize;
+    'anneal: while steps_done < cfg.steps {
+        let batch_n = chains.min(cfg.steps - steps_done);
+        let frac = steps_done as f64 / cfg.steps.max(1) as f64;
         let temp = cfg.init_temp * (cfg.final_temp / cfg.init_temp).powf(frac);
-        let cand = space.perturb(&current, &mut rng, cfg.flips);
-        let cost = objective(&cand);
-        if cost.is_nan() {
-            break; // budget exhausted
-        }
-        evals += 1;
-        push_top(&cand, cost, cfg.top_k, &mut top);
-        if cost < best_cost {
-            best = cand.clone();
-            best_cost = cost;
-        }
-        // Metropolis acceptance on relative cost.
-        let rel = (cost - current_cost) / current_cost.abs().max(1e-9);
-        if rel <= 0.0 || rng.gen::<f64>() < (-rel / temp.max(1e-12)).exp() {
-            current = cand;
-            current_cost = cost;
+        let cands: Vec<FusionConfig> = (0..batch_n)
+            .map(|c| space.perturb(&current[c], &mut rngs[c], cfg.flips))
+            .collect();
+        let costs = objective.evaluate(&cands);
+        for (c, cand) in cands.iter().enumerate() {
+            let cost = costs[c];
+            if cost.is_nan() {
+                break 'anneal; // budget exhausted; later positions are NaN too
+            }
+            evals += 1;
+            steps_done += 1;
+            push_top(cand, cost, cfg.top_k, &mut top);
+            if cost < best_cost {
+                best = cand.clone();
+                best_cost = cost;
+            }
+            // Metropolis acceptance on relative cost, per chain.
+            let rel = (cost - current_cost[c]) / current_cost[c].abs().max(1e-9);
+            if rel <= 0.0 || rngs[c].gen::<f64>() < (-rel / temp.max(1e-12)).exp() {
+                current[c] = cand.clone();
+                current_cost[c] = cost;
+            }
         }
     }
 
@@ -145,7 +228,7 @@ mod tests {
         let result = simulated_annealing(
             &space,
             start,
-            |c| (c.decisions.len() - c.num_fused()) as f64,
+            |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64,
             &SaConfig {
                 steps: 3_000,
                 flips: 1,
@@ -163,7 +246,7 @@ mod tests {
         let result = simulated_annealing(
             &space,
             space.none(),
-            |c| (c.decisions.len() - c.num_fused()) as f64,
+            |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64,
             &SaConfig {
                 steps: 500,
                 top_k: 5,
@@ -185,7 +268,7 @@ mod tests {
         let result = simulated_annealing(
             &space,
             space.none(),
-            |c| {
+            |c: &FusionConfig| {
                 if budget == 0 {
                     return f64::NAN;
                 }
@@ -208,7 +291,7 @@ mod tests {
             simulated_annealing(
                 &space,
                 space.none(),
-                |c| (c.decisions.len() - c.num_fused()) as f64,
+                |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64,
                 &SaConfig {
                     steps: 200,
                     seed,
@@ -218,5 +301,116 @@ mod tests {
             .best_cost
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn multi_chain_finds_optimum_within_step_budget() {
+        let p = chain_program(12);
+        let space = FusionSpace::new(&p.computation);
+        let result = simulated_annealing(
+            &space,
+            space.none(),
+            |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64,
+            &SaConfig {
+                steps: 3_000,
+                flips: 1,
+                chains: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.best_cost, 0.0);
+        // The step budget is shared across chains, not multiplied.
+        assert!(result.evals <= 3_001, "evals={}", result.evals);
+    }
+
+    #[test]
+    fn chains_see_one_batch_per_step() {
+        // The annealer must present all chains' candidates as one
+        // evaluate() call per temperature step.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Recorder {
+            sizes: Rc<RefCell<Vec<usize>>>,
+        }
+        impl BatchObjective for Recorder {
+            fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+                self.sizes.borrow_mut().push(configs.len());
+                configs
+                    .iter()
+                    .map(|c| (c.decisions.len() - c.num_fused()) as f64)
+                    .collect()
+            }
+        }
+        let sizes = Rc::new(RefCell::new(Vec::new()));
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let result = simulated_annealing(
+            &space,
+            space.none(),
+            Recorder {
+                sizes: Rc::clone(&sizes),
+            },
+            &SaConfig {
+                steps: 10,
+                chains: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.evals, 11, "start + 10 candidates");
+        // 1 call for the start, then full batches of `chains` with a
+        // short final batch absorbing the remainder of the step budget.
+        assert_eq!(*sizes.borrow(), vec![1, 4, 4, 2]);
+    }
+
+    #[test]
+    fn multi_chain_deterministic_and_chain0_matches_single() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let run = |chains| {
+            simulated_annealing(
+                &space,
+                space.none(),
+                |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64,
+                &SaConfig {
+                    steps: 300,
+                    seed: 5,
+                    chains,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn closure_is_not_called_after_nan_in_a_batch() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let mut calls = 0usize;
+        let mut budget = 5usize;
+        simulated_annealing(
+            &space,
+            space.none(),
+            |c: &FusionConfig| {
+                calls += 1;
+                if budget == 0 {
+                    return f64::NAN;
+                }
+                budget -= 1;
+                c.num_fused() as f64
+            },
+            &SaConfig {
+                steps: 100,
+                chains: 4,
+                ..Default::default()
+            },
+        );
+        // 5 scored + exactly one NaN probe; the blanket impl pads the rest
+        // of the batch without calling the closure again.
+        assert_eq!(calls, 6, "closure called {calls} times");
     }
 }

@@ -15,14 +15,15 @@
 //! ```
 
 use rayon::prelude::*;
+use std::sync::Arc;
 use tpu_autotuner::{
     autotune_hardware_only, autotune_with_cost_model, Budgets, StartMode, TunedConfig,
 };
-use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, Scale};
+use tpu_bench::{corpus, fusion_train_val, print_table, Scale};
 use tpu_dataset::build_fusion_dataset;
 use tpu_fusion::{apply_fusion, default_space_and_config};
 use tpu_hlo::Program;
-use tpu_learned_cost::{prepare, train, GnnModel, PredictionCache};
+use tpu_learned_cost::{train, GnnModel, PredictionCache};
 use tpu_sim::{TpuConfig, TpuDevice};
 
 /// Programs autotuned in Figure 4: "a set of programs that gain
@@ -74,13 +75,11 @@ fn main() {
     // performance model from Section 6.1").
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
     let split = corpus.random_split(0);
-    let (train_ex, val_ex, _) = dataset.split(&split);
     let (train_cap, val_cap) = match scale {
         Scale::Quick => (800, 250),
         Scale::Full => (12_000, 2_000),
     };
-    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
-    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+    let (train_prep, val_prep) = fusion_train_val(&dataset, &split, train_cap, val_cap);
     let mut gnn = GnnModel::new(scale.gnn_cfg());
     let t0 = std::time::Instant::now();
     let rep = train(&mut gnn, &train_prep, &val_prep, &scale.train_cfg());
@@ -98,6 +97,7 @@ fn main() {
                 model_steps: 500,
                 best_known_ns: 600e9,
                 top_k: 10,
+                chains: 4,
             },
         ),
         Scale::Full => (
@@ -107,6 +107,7 @@ fn main() {
                 model_steps: 2_500,
                 best_known_ns: 7_200e9,
                 top_k: 16,
+                chains: 4,
             },
         ),
     };
@@ -134,7 +135,7 @@ fn main() {
 
             // One prediction cache per program, shared across repetitions:
             // later repetitions revisit mostly-cached kernels.
-            let cache = PredictionCache::new();
+            let cache = Arc::new(PredictionCache::new());
             let mut hw_runs = Vec::new();
             let mut model_runs = Vec::new();
             for rep_i in 0..reps {

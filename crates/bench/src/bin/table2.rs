@@ -9,13 +9,12 @@
 //! ```
 
 use tpu_bench::{
-    cap_prepared, corpus, fusion_samples, print_table, CalibratedAnalytical, Scale,
+    corpus, fusion_samples, fusion_train_val, predict_ns_prepared, print_table,
+    CalibratedAnalytical, Scale,
 };
 use tpu_dataset::{build_fusion_dataset, Corpus, FusionDataset, KernelExample, Split};
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
-use tpu_learned_cost::{
-    prepare, train, BatchedPredictor, GnnModel, KernelModel, LstmModel, Prepared,
-};
+use tpu_learned_cost::{prepare, train, GnnModel, KernelModel, LstmModel, Prepared};
 use tpu_sim::TpuConfig;
 
 /// Per-model predictions for one program's evaluation kernels.
@@ -119,8 +118,7 @@ fn run_split(
         Scale::Quick => (800, 300),
         Scale::Full => (14_000, 2_500),
     };
-    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
-    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+    let (train_prep, val_prep) = fusion_train_val(dataset, split, train_cap, val_cap);
 
     // Train both learned models; like the paper's hyperparameter search,
     // train several seeds and keep the best on validation.
@@ -189,16 +187,8 @@ fn run_split(
         }
         let prepared: Vec<Prepared> =
             prepare(&fusion_samples(&scored.iter().map(|(e, _)| *e).collect::<Vec<_>>()));
-        let ours: Vec<f64> = BatchedPredictor::new(&gnn)
-            .predict_log_ns(&prepared)
-            .into_iter()
-            .map(f64::exp)
-            .collect();
-        let lstm_pred: Vec<f64> = BatchedPredictor::new(&lstm)
-            .predict_log_ns(&prepared)
-            .into_iter()
-            .map(f64::exp)
-            .collect();
+        let ours = predict_ns_prepared(&gnn, &prepared);
+        let lstm_pred = predict_ns_prepared(&lstm, &prepared);
         evals.push(ProgramEval {
             name,
             targets: scored.iter().map(|(e, _)| e.runtime_ns).collect(),

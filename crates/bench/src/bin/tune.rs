@@ -1,33 +1,34 @@
 //! Hyperparameter sweep for the fusion task (the paper's "we did a
 //! hyperparameter search and selected the best-performing models on the
 //! validation split", §6): trains GNN variants and the LSTM baseline on
-//! the random split and reports validation + test-program medians.
+//! the random split and reports validation + test-program medians. The
+//! winning GNN is then driven through the batch-first autotuner (§6.3) as
+//! an end-to-end smoke of the serving path: multi-chain SA, prediction
+//! cache, packed forwards, hardware-budget metering.
 //!
 //! ```text
 //! cargo run -p tpu-bench --release --bin tune [-- --quick]
 //! ```
 
-use tpu_bench::{cap_prepared, corpus, fusion_samples, print_table, Scale};
+use std::sync::Arc;
+use tpu_autotuner::{autotune_with_cost_model, speedup_over_default, Budgets, StartMode};
+use tpu_bench::{corpus, fusion_train_val, predict_ns_prepared, print_table, Scale};
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    prepare, train, BatchedPredictor, GnnConfig, GnnModel, KernelModel, LstmModel, Prepared,
+    prepare, train, GnnConfig, GnnModel, KernelModel, LstmModel, PredictionCache, Prepared,
     Reduction, TaskLoss, TrainConfig,
 };
+use tpu_sim::TpuDevice;
 
 fn test_medians<M: KernelModel>(
     model: &M,
     by_program: &[(String, Vec<Prepared>, Vec<f64>)],
 ) -> (f64, f64) {
-    let predictor = BatchedPredictor::new(model);
     let mut mapes = Vec::new();
     let mut taus = Vec::new();
     for (_, prepared, targets) in by_program {
-        let preds: Vec<f64> = predictor
-            .predict_log_ns(prepared)
-            .into_iter()
-            .map(f64::exp)
-            .collect();
+        let preds = predict_ns_prepared(model, prepared);
         // >=5us kernels only, like Table 2's headline rows.
         let idx: Vec<usize> = (0..targets.len())
             .filter(|&i| targets[i] >= 5_000.0)
@@ -49,14 +50,13 @@ fn main() {
     let corpus = corpus(scale);
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
     let split = corpus.random_split(0);
-    let (train_ex, val_ex, test_ex) = dataset.split(&split);
+    let (_, _, test_ex) = dataset.split(&split);
 
     let (train_cap, val_cap) = match scale {
         Scale::Quick => (800, 300),
         Scale::Full => (14_000, 2_500),
     };
-    let train_prep = cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1);
-    let val_prep = cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2);
+    let (train_prep, val_prep) = fusion_train_val(&dataset, &split, train_cap, val_cap);
 
     // Per-test-program prepared sets.
     let mut by_program = Vec::new();
@@ -72,7 +72,7 @@ fn main() {
         let targets: Vec<f64> = exs.iter().map(|e| e.runtime_ns).collect();
         by_program.push((
             corpus.entries[pi].program.name.clone(),
-            prepare(&fusion_samples(&exs)),
+            prepare(&tpu_bench::fusion_samples(&exs)),
             targets,
         ));
     }
@@ -140,6 +140,7 @@ fn main() {
             },
         ),
     ];
+    let mut winner: Option<(f64, GnnModel)> = None;
     for (name, gcfg) in variants {
         let t0 = std::time::Instant::now();
         let mut m = GnnModel::new(gcfg);
@@ -152,6 +153,9 @@ fn main() {
             format!("{test_mape:.1}"),
             format!("{test_tau:.2}"),
         ]);
+        if winner.as_ref().is_none_or(|(v, _)| rep.best_val < *v) {
+            winner = Some((rep.best_val, m));
+        }
     }
     {
         let t0 = std::time::Instant::now();
@@ -171,5 +175,50 @@ fn main() {
         "Sweep results (random split; test = >=5us kernels)",
         &["Variant", "Val MAPE", "Test median MAPE", "Test median tau"],
         &rows,
+    );
+
+    // Drive the sweep winner through the batch-first autotuner — the full
+    // serving stack in one pass: multi-chain SA, miss-batched packed
+    // forwards, prediction cache, hardware-budget metering.
+    let (val, gnn) = winner.expect("at least one GNN variant");
+    let target = split
+        .test
+        .iter()
+        .map(|&pi| &corpus.entries[pi].program)
+        .filter(|p| p.num_nodes() <= tpu_dataset::FUSION_NODE_LIMIT)
+        .min_by_key(|p| p.num_nodes())
+        .expect("a tunable test program");
+    println!(
+        "\nAutotuning `{}` with the sweep winner (val MAPE {val:.1}%)...",
+        target.name
+    );
+    let budgets = Budgets {
+        hardware_ns: 30e9,
+        model_steps: match scale {
+            Scale::Quick => 200,
+            Scale::Full => 1_000,
+        },
+        best_known_ns: 60e9,
+        top_k: 8,
+        chains: 4,
+    };
+    let cache = Arc::new(PredictionCache::new());
+    let device = TpuDevice::new(42);
+    let tuned = autotune_with_cost_model(
+        target,
+        &device,
+        &gnn,
+        &cache,
+        StartMode::Default,
+        &budgets,
+        0,
+    );
+    println!(
+        "tuned: speedup {:.3}x over default | {} hw evals | {} fresh model evals in {} packed forwards | {} cache hits",
+        speedup_over_default(target, &device, &tuned),
+        tuned.hw_evals,
+        tuned.model_evals,
+        tuned.model_batches,
+        tuned.cache_hits,
     );
 }

@@ -15,11 +15,14 @@
 //!
 //! Every binary accepts `--quick` for a reduced-scale smoke run.
 
+use rayon::prelude::*;
 use std::collections::HashMap;
 use tpu_analytical::{AnalyticalModel, Calibration};
-use tpu_dataset::{Corpus, CorpusScale, FusionDatasetConfig, TileDatasetConfig};
+use tpu_dataset::{Corpus, CorpusScale, FusionDataset, FusionDatasetConfig, Split, TileDatasetConfig};
 use tpu_hlo::Kernel;
-use tpu_learned_cost::{GnnConfig, LstmConfig, Prepared, Sample, TrainConfig};
+use tpu_learned_cost::{
+    prepare, CostModel, GnnConfig, KernelModel, LstmConfig, Prepared, Sample, TrainConfig,
+};
 use tpu_sim::TpuConfig;
 
 /// Experiment scale, selected by the `--quick` flag.
@@ -197,6 +200,50 @@ impl CalibratedAnalytical {
     }
 }
 
+/// The calibrated analytical baseline behind the common [`CostModel`]
+/// interface, so experiment harnesses (the autotuner, the [`Predictor`]
+/// cache) treat it interchangeably with the learned models.
+///
+/// [`Predictor`]: tpu_learned_cost::Predictor
+impl CostModel for CalibratedAnalytical {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        self.predict_ns(kernel)
+    }
+
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        kernels.par_iter().map(|k| self.predict_ns(k)).collect()
+    }
+
+    fn name(&self) -> &str {
+        "analytical-calibrated"
+    }
+}
+
+/// Capped, prepared (featurized) train/val sets for the fusion task — the
+/// setup shared by every experiment binary that trains a model.
+pub fn fusion_train_val(
+    dataset: &FusionDataset,
+    split: &Split,
+    train_cap: usize,
+    val_cap: usize,
+) -> (Vec<Prepared>, Vec<Prepared>) {
+    let (train_ex, val_ex, _) = dataset.split(split);
+    (
+        cap_prepared(prepare(&fusion_samples(&train_ex)), train_cap, 1),
+        cap_prepared(prepare(&fusion_samples(&val_ex)), val_cap, 2),
+    )
+}
+
+/// Model predictions in nanoseconds for a prepared evaluation set, served
+/// as packed batch forwards (64 kernels per chunk).
+pub fn predict_ns_prepared<M: KernelModel + ?Sized>(model: &M, prepared: &[Prepared]) -> Vec<f64> {
+    let refs: Vec<&Prepared> = prepared.iter().collect();
+    tpu_learned_cost::forward_log_ns_chunked(model, &refs, 64)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
 /// Group items by program index for per-program metric rows.
 pub fn group_by_program<T>(
     items: &[T],
@@ -290,6 +337,46 @@ mod tests {
             .filter_map(|k| analytical.predict_ns(k))
             .count();
         assert!(scored > 0, "analytical model scored no kernels");
+    }
+
+    #[test]
+    fn calibrated_analytical_serves_as_cost_model() {
+        let c = corpus(Scale::Quick);
+        let split = c.random_split(0);
+        let analytical = CalibratedAnalytical::fit(&c, &split.test, &TpuConfig::default());
+        let p = &c.entries[split.test[0]].program;
+        let (space, cfg) = tpu_fusion::default_space_and_config(&p.computation);
+        let fused = tpu_fusion::apply_fusion(p, &space, &cfg);
+        let batch = analytical.predict_batch_ns(&fused.kernels);
+        for (k, b) in fused.kernels.iter().zip(&batch) {
+            assert_eq!(*b, analytical.predict_ns(k), "batch must match per-kernel");
+        }
+        assert_eq!(CostModel::name(&analytical), "analytical-calibrated");
+    }
+
+    #[test]
+    fn predict_ns_prepared_matches_per_kernel_predictions() {
+        use tpu_hlo::{DType, GraphBuilder, Shape};
+        let model = tpu_learned_cost::GnnModel::new(GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        });
+        let kernels: Vec<Kernel> = [32usize, 64, 96]
+            .iter()
+            .map(|&n| {
+                let mut b = GraphBuilder::new("k");
+                let x = b.parameter("x", Shape::matrix(n, n), DType::F32);
+                let t = b.tanh(x);
+                Kernel::new(b.finish(t))
+            })
+            .collect();
+        let prepared: Vec<Prepared> = kernels.iter().map(Prepared::from_kernel).collect();
+        let batch = predict_ns_prepared(&model, &prepared);
+        for (k, b) in kernels.iter().zip(&batch) {
+            assert_eq!(*b, model.predict_ns(k));
+        }
     }
 
     #[test]

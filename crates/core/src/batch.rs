@@ -133,13 +133,15 @@ pub struct GraphBatch {
 }
 
 impl GraphBatch {
-    /// Pack prepared kernels into a batch.
+    /// Pack prepared kernels into a batch, or `None` for an empty slice.
     ///
-    /// # Panics
-    ///
-    /// Panics if `items` is empty.
-    pub fn pack(items: &[&Prepared]) -> GraphBatch {
-        assert!(!items.is_empty(), "empty batch");
+    /// The empty case is not an error: a prediction batch whose kernels all
+    /// hit the cache legitimately has nothing left to forward, and a serving
+    /// path must not abort the process for it.
+    pub fn pack(items: &[&Prepared]) -> Option<GraphBatch> {
+        if items.is_empty() {
+            return None;
+        }
         let total_nodes: usize = items.iter().map(|p| p.num_nodes()).sum();
         let mut opcode_ids = Vec::with_capacity(total_nodes);
         let mut data = Vec::with_capacity(total_nodes * FEATURE_DIM);
@@ -163,7 +165,7 @@ impl GraphBatch {
             offset += p.num_nodes();
         }
 
-        GraphBatch {
+        Some(GraphBatch {
             opcode_ids,
             features: Tensor::from_vec(total_nodes, FEATURE_DIM, data),
             edges,
@@ -171,7 +173,7 @@ impl GraphBatch {
             kernel_nodes,
             targets_ns,
             groups,
-        }
+        })
     }
 
     /// Number of kernels in the batch.
@@ -223,7 +225,7 @@ mod tests {
     fn pack_offsets_edges() {
         let p1 = Prepared::from_sample(&sample(128));
         let p2 = Prepared::from_sample(&sample(256));
-        let b = GraphBatch::pack(&[&p1, &p2]);
+        let b = GraphBatch::pack(&[&p1, &p2]).unwrap();
         assert_eq!(b.num_nodes(), 6);
         assert_eq!(b.num_kernels(), 2);
         assert_eq!(b.edges.len(), 4);
@@ -236,9 +238,16 @@ mod tests {
     #[test]
     fn log_targets_transform() {
         let p = Prepared::from_sample(&sample(128));
-        let b = GraphBatch::pack(&[&p]);
+        let b = GraphBatch::pack(&[&p]).unwrap();
         let lt = b.log_targets();
         assert!((lt.item() - 5000.0_f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pack_of_empty_slice_is_none() {
+        // Regression: an all-cache-hit prediction batch has no misses left
+        // to pack; this must be a quiet `None`, not a panic.
+        assert!(GraphBatch::pack(&[]).is_none());
     }
 
     #[test]

@@ -7,6 +7,78 @@ use crate::model::{GnnConfig, GnnModel};
 use serde::{Deserialize, Serialize};
 use tpu_nn::ParamStore;
 
+/// Why a bundle failed to load — typed so serving-side callers can match
+/// on the failure mode instead of parsing a message string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleError {
+    /// The JSON could not be parsed into a bundle.
+    Parse(String),
+    /// The bundle is for a different model family.
+    WrongKind {
+        /// The family the loader expected (`"gnn"` or `"lstm"`).
+        expected: &'static str,
+        /// The `kind` tag found in the bundle.
+        found: String,
+    },
+    /// The weights disagree with the architecture the config describes.
+    WeightMismatch {
+        /// Trainable scalar count the architecture needs.
+        expected: usize,
+        /// Trainable scalar count the bundle carries.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Parse(msg) => write!(f, "malformed bundle: {msg}"),
+            BundleError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected} bundle, got `{found}`")
+            }
+            BundleError::WeightMismatch { expected, found } => write!(
+                f,
+                "weights do not match architecture: expected {expected} parameters, got {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// Minimal envelope for reading the `kind` tag before committing to a
+/// model family's typed config, so a GNN bundle fed to [`load_lstm`]
+/// reports [`BundleError::WrongKind`] instead of a config parse error.
+#[derive(Deserialize)]
+struct KindProbe {
+    kind: String,
+}
+
+/// Tensor count *and* scalar count must agree: the latter catches a
+/// same-depth model serialized at a different width, which tensor count
+/// alone cannot see.
+fn check_weights(arch: &ParamStore, weights: &ParamStore) -> Result<(), BundleError> {
+    if weights.num_params() != arch.num_params() || weights.num_scalars() != arch.num_scalars() {
+        return Err(BundleError::WeightMismatch {
+            expected: arch.num_scalars(),
+            found: weights.num_scalars(),
+        });
+    }
+    Ok(())
+}
+
+fn check_kind(json: &str, expected: &'static str) -> Result<(), BundleError> {
+    let probe: KindProbe =
+        serde_json::from_str(json).map_err(|e| BundleError::Parse(e.to_string()))?;
+    if probe.kind != expected {
+        return Err(BundleError::WrongKind {
+            expected,
+            found: probe.kind,
+        });
+    }
+    Ok(())
+}
+
 #[derive(Serialize, Deserialize)]
 struct GnnBundle {
     kind: String,
@@ -35,16 +107,15 @@ pub fn save_gnn(model: &GnnModel) -> String {
 ///
 /// # Errors
 ///
-/// Returns a message on malformed JSON or a non-GNN bundle.
-pub fn load_gnn(json: &str) -> Result<GnnModel, String> {
-    let bundle: GnnBundle = serde_json::from_str(json).map_err(|e| e.to_string())?;
-    if bundle.kind != "gnn" {
-        return Err(format!("expected a gnn bundle, got `{}`", bundle.kind));
-    }
+/// [`BundleError::Parse`] on malformed JSON, [`BundleError::WrongKind`] on
+/// a non-GNN bundle, [`BundleError::WeightMismatch`] when the weights do
+/// not fit the architecture.
+pub fn load_gnn(json: &str) -> Result<GnnModel, BundleError> {
+    check_kind(json, "gnn")?;
+    let bundle: GnnBundle =
+        serde_json::from_str(json).map_err(|e| BundleError::Parse(e.to_string()))?;
     let mut model = GnnModel::new(bundle.config);
-    if bundle.weights.num_params() != model.store().num_params() {
-        return Err("weights do not match architecture".into());
-    }
+    check_weights(model.store(), &bundle.weights)?;
     *model.store_mut() = bundle.weights;
     Ok(model)
 }
@@ -63,16 +134,13 @@ pub fn save_lstm(model: &LstmModel) -> String {
 ///
 /// # Errors
 ///
-/// Returns a message on malformed JSON or a non-LSTM bundle.
-pub fn load_lstm(json: &str) -> Result<LstmModel, String> {
-    let bundle: LstmBundle = serde_json::from_str(json).map_err(|e| e.to_string())?;
-    if bundle.kind != "lstm" {
-        return Err(format!("expected an lstm bundle, got `{}`", bundle.kind));
-    }
+/// Same failure modes as [`load_gnn`], with `expected == "lstm"`.
+pub fn load_lstm(json: &str) -> Result<LstmModel, BundleError> {
+    check_kind(json, "lstm")?;
+    let bundle: LstmBundle =
+        serde_json::from_str(json).map_err(|e| BundleError::Parse(e.to_string()))?;
     let mut model = LstmModel::new(bundle.config);
-    if bundle.weights.num_params() != model.store().num_params() {
-        return Err("weights do not match architecture".into());
-    }
+    check_weights(model.store(), &bundle.weights)?;
     *model.store_mut() = bundle.weights;
     Ok(model)
 }
@@ -120,15 +188,53 @@ mod tests {
     }
 
     #[test]
-    fn kind_mismatch_is_error() {
+    fn kind_mismatch_is_matchable() {
         let g = GnnModel::new(GnnConfig::default());
         let json = save_gnn(&g);
-        assert!(load_lstm(&json).is_err());
+        match load_lstm(&json) {
+            Err(BundleError::WrongKind { expected, found }) => {
+                assert_eq!(expected, "lstm");
+                assert_eq!(found, "gnn");
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
     }
 
     #[test]
-    fn garbage_is_error() {
-        assert!(load_gnn("{}").is_err());
-        assert!(load_gnn("nope").is_err());
+    fn garbage_is_parse_error() {
+        assert!(matches!(load_gnn("{}"), Err(BundleError::Parse(_))));
+        assert!(matches!(load_gnn("nope"), Err(BundleError::Parse(_))));
+    }
+
+    #[test]
+    fn weight_mismatch_reports_counts() {
+        // A bundle whose config describes a different architecture than
+        // its weights: swap the weights of a wider model in.
+        let narrow = GnnModel::new(GnnConfig {
+            hidden: 8,
+            ..Default::default()
+        });
+        let wide = GnnModel::new(GnnConfig {
+            hidden: 32,
+            ..Default::default()
+        });
+        let json = format!(
+            r#"{{"kind":"gnn","config":{},"weights":{}}}"#,
+            serde_json::to_string(narrow.config()).unwrap(),
+            serde_json::to_string(wide.store()).unwrap(),
+        );
+        match load_gnn(&json) {
+            Err(BundleError::WeightMismatch { expected, found }) => {
+                assert_eq!(expected, narrow.store().num_scalars());
+                assert_eq!(found, wide.store().num_scalars());
+            }
+            other => panic!("expected WeightMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bundle_error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(BundleError::Parse("x".into()));
+        assert!(e.to_string().contains("malformed"));
     }
 }

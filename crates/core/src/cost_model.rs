@@ -1,14 +1,23 @@
 //! A common interface over every runtime predictor in this reproduction.
 
+use crate::batch::Prepared;
 use crate::lstm_model::LstmModel;
 use crate::model::GnnModel;
+use rayon::prelude::*;
 use tpu_hlo::{FusedProgram, Kernel};
 
-/// Anything that can estimate a kernel's runtime in nanoseconds.
+/// Anything that can estimate kernel runtimes in nanoseconds.
 ///
 /// Backends: the learned GNN ([`GnnModel`]), the LSTM baseline
-/// ([`LstmModel`]), the analytical model (via an adapter closure in the
-/// experiment harness), or the simulator itself as an oracle.
+/// ([`LstmModel`]), the analytical model, or the simulator itself as an
+/// oracle ([`SimOracle`]).
+///
+/// The batch method is the primary serving surface: the paper's deployment
+/// story (§6.3) scores thousands of candidate configurations, and every
+/// layer above this trait (the [`Predictor`](crate::Predictor) session, the
+/// autotuner's objectives) hands the backend *slices* of kernels so a
+/// neural backend can answer them with one packed forward pass instead of
+/// one per kernel. `predict_kernel_ns` remains for one-off queries.
 ///
 /// Returning `None` means the backend cannot score this kernel — the
 /// analytical model's behaviour on kernels without tile-size options
@@ -18,23 +27,61 @@ pub trait CostModel {
     /// Estimated kernel runtime in ns, or `None` if unsupported.
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64>;
 
+    /// Estimated runtimes for a slice of kernels, positionally.
+    ///
+    /// The default loops [`CostModel::predict_kernel_ns`]; backends that
+    /// can amortize work across kernels (packed GNN/LSTM forwards, rayon
+    /// fan-out) override it. Implementations must match the per-kernel
+    /// path positionally — bit-identical for the GNN/oracle backends,
+    /// within padding arithmetic (~1e-5 log-ns) for the masked LSTM — so
+    /// caching batch results stays sound.
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        kernels.iter().map(|k| self.predict_kernel_ns(k)).collect()
+    }
+
     /// Short name for reports.
     fn name(&self) -> &str;
 
     /// Estimated whole-program runtime: the sum over kernels (§3.3), or
-    /// `None` if any kernel is unsupported.
+    /// `None` if any kernel is unsupported. Goes through the batch path, so
+    /// a program is one forward pass for neural backends.
     fn predict_program_ns(&self, program: &FusedProgram) -> Option<f64> {
-        let mut total = 0.0;
-        for k in &program.kernels {
-            total += self.predict_kernel_ns(k)?;
-        }
-        Some(total)
+        self.predict_batch_ns(&program.kernels)
+            .into_iter()
+            .try_fold(0.0, |total, ns| ns.map(|v| total + v))
+    }
+}
+
+/// A borrowed model is a model: lets sessions like
+/// [`Predictor`](crate::Predictor) wrap `&M` without taking ownership.
+impl<M: CostModel + ?Sized> CostModel for &M {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        (**self).predict_kernel_ns(kernel)
+    }
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        (**self).predict_batch_ns(kernels)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn predict_program_ns(&self, program: &FusedProgram) -> Option<f64> {
+        (**self).predict_program_ns(program)
     }
 }
 
 impl CostModel for GnnModel {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
         Some(self.predict_ns(kernel))
+    }
+    /// Parallel featurization, then **one** packed forward for the whole
+    /// slice — the disjoint-union batching of §4.2 applied to serving.
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        let prepared = Prepared::from_kernels(kernels);
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        crate::engine::forward_log_ns(self, &refs)
+            .into_iter()
+            .map(|l| Some(l.exp()))
+            .collect()
     }
     fn name(&self) -> &str {
         "learned-gnn"
@@ -44,6 +91,15 @@ impl CostModel for GnnModel {
 impl CostModel for LstmModel {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
         Some(self.predict_ns(kernel))
+    }
+    /// One masked packed forward over all sequences (§6.1 baseline).
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        let prepared = Prepared::from_kernels(kernels);
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        crate::engine::forward_log_ns(self, &refs)
+            .into_iter()
+            .map(|l| Some(l.exp()))
+            .collect()
     }
     fn name(&self) -> &str {
         "lstm-baseline"
@@ -68,13 +124,21 @@ impl CostModel for SimOracle {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
         Some(tpu_sim::kernel_time_ns(kernel, &self.cfg))
     }
+    /// Simulates kernels on rayon workers; order-preserving collect keeps
+    /// results positionally identical to the serial loop.
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        kernels
+            .par_iter()
+            .map(|k| Some(tpu_sim::kernel_time_ns(k, &self.cfg)))
+            .collect()
+    }
     fn name(&self) -> &str {
         "simulator-oracle"
     }
 }
 
-/// Wrap any closure as a [`CostModel`] (adapter for the analytical model
-/// without a crate dependency cycle).
+/// Wrap any closure as a [`CostModel`] (adapter for callers that want a
+/// one-off model without a named type).
 pub struct FnCostModel<F> {
     name: String,
     f: F,
@@ -111,6 +175,14 @@ mod tests {
         Kernel::new(b.finish(t))
     }
 
+    fn kernel_cols(cols: usize) -> Kernel {
+        let mut b = GraphBuilder::new("k");
+        let x = b.parameter("x", Shape::matrix(8, cols), DType::F32);
+        let t = b.tanh(x);
+        let e = b.exp(t);
+        Kernel::new(b.finish(e))
+    }
+
     #[test]
     fn oracle_predicts_exact_sim_time() {
         let cfg = tpu_sim::TpuConfig::default();
@@ -145,5 +217,48 @@ mod tests {
         let m = crate::model::GnnModel::new(crate::model::GnnConfig::default());
         let pred = m.predict_kernel_ns(&kernel()).unwrap();
         assert!(pred > 0.0, "exp(log-ns) must be positive");
+    }
+
+    #[test]
+    fn default_batch_matches_per_kernel() {
+        let oracle = SimOracle::new(tpu_sim::TpuConfig::default());
+        let kernels: Vec<Kernel> = (1..=5).map(|i| kernel_cols(i * 32)).collect();
+        let batch = oracle.predict_batch_ns(&kernels);
+        for (k, b) in kernels.iter().zip(&batch) {
+            assert_eq!(*b, oracle.predict_kernel_ns(k));
+        }
+        assert!(oracle.predict_batch_ns(&[]).is_empty());
+    }
+
+    #[test]
+    fn gnn_batch_is_bit_identical_to_single() {
+        let m = GnnModel::new(crate::model::GnnConfig::default());
+        let kernels: Vec<Kernel> = (1..=6).map(|i| kernel_cols(i * 16)).collect();
+        let batch = m.predict_batch_ns(&kernels);
+        for (k, b) in kernels.iter().zip(&batch) {
+            assert_eq!(*b, Some(m.predict_ns(k)), "packed forward must match");
+        }
+    }
+
+    #[test]
+    fn lstm_batch_matches_single() {
+        // Masked batching is exact up to padding arithmetic (~1e-5 in the
+        // log domain), same tolerance as the masking unit test.
+        let m = LstmModel::new(crate::lstm_model::LstmConfig::default());
+        let kernels: Vec<Kernel> = (1..=4).map(|i| kernel_cols(i * 16)).collect();
+        let batch = m.predict_batch_ns(&kernels);
+        for (k, b) in kernels.iter().zip(&batch) {
+            let single = m.predict_ns(k);
+            let rel = (b.unwrap().ln() - single.ln()).abs();
+            assert!(rel < 1e-5, "masked batch drifted: {rel}");
+        }
+    }
+
+    #[test]
+    fn borrowed_model_is_a_cost_model() {
+        let oracle = SimOracle::new(tpu_sim::TpuConfig::default());
+        let by_ref: &dyn CostModel = &&oracle;
+        assert_eq!(by_ref.name(), "simulator-oracle");
+        assert_eq!(by_ref.predict_kernel_ns(&kernel()), oracle.predict_kernel_ns(&kernel()));
     }
 }

@@ -4,15 +4,16 @@
 //! very different profile from training: the same kernels are scored over
 //! and over (a simulated-annealing neighbourhood revisits configurations),
 //! and throughput matters more than single-kernel latency. This module adds
-//! the three pieces the paper's deployment story needs:
+//! the two pieces the paper's deployment story needs:
 //!
 //! - [`PredictionCache`] — a thread-safe, sharded map from the canonical
 //!   kernel hash ([`tpu_hlo::canonical_kernel_hash`]) to a cached
 //!   prediction, with hit/miss/eviction counters,
-//! - [`BatchedPredictor`] — groups kernels into [`GraphBatch`]es so each
-//!   forward pass scores many kernels at once instead of one per call,
-//! - [`CachedModel`] — wraps any [`CostModel`] so every consumer of the
-//!   trait (experiment harness, autotuner) gets caching for free.
+//! - [`Predictor`] — a serving session over any [`CostModel`]: it hashes
+//!   the incoming kernels, answers what it can from the cache, deduplicates
+//!   the distinct misses, and presents them to the backend as **one**
+//!   `predict_batch_ns` call (one packed forward pass for the neural
+//!   backends), reporting per-call and cumulative [`PredictStats`].
 //!
 //! Cache keys are structural: two kernels with identical computations,
 //! kinds, and tile sizes share a key, so a prediction made for one is
@@ -22,7 +23,7 @@
 use crate::batch::{GraphBatch, Prepared};
 use crate::cost_model::CostModel;
 use crate::train::KernelModel;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tpu_hlo::{canonical_kernel_hash, Kernel};
@@ -205,32 +206,96 @@ impl PredictionCache {
     }
 }
 
-/// Any [`CostModel`] with a [`PredictionCache`] in front of it.
-///
-/// The cache is behind an [`Arc`] so one cache can back several wrappers
-/// (e.g. the autotuner's model phase and the final report), and so stats
-/// remain readable while the model is borrowed.
-pub struct CachedModel<M> {
-    inner: M,
-    cache: Arc<PredictionCache>,
-    name: String,
+/// Serving counters for a [`Predictor`]: per call or cumulative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictStats {
+    /// Kernels asked about (including duplicates).
+    pub kernels: u64,
+    /// Positions answered straight from the cache.
+    pub cache_hits: u64,
+    /// Fresh model evaluations: distinct kernels the backend scored.
+    pub model_evals: u64,
+    /// Batched backend calls — at most one per `predict` call, 0 when every
+    /// kernel hit the cache. For the GNN this is the packed-forward count.
+    pub model_batches: u64,
 }
 
-impl<M: CostModel> CachedModel<M> {
-    /// Wrap a model with a fresh unbounded cache.
-    pub fn new(inner: M) -> CachedModel<M> {
-        CachedModel::with_cache(inner, Arc::new(PredictionCache::new()))
+impl PredictStats {
+    /// Fraction of kernels answered from the cache (0 when none asked).
+    pub fn hit_rate(&self) -> f64 {
+        if self.kernels == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.kernels as f64
+        }
     }
 
-    /// Wrap a model with a shared cache.
-    pub fn with_cache(inner: M, cache: Arc<PredictionCache>) -> CachedModel<M> {
-        let name = format!("cached-{}", inner.name());
-        CachedModel { inner, cache, name }
+    /// Counter-wise difference of two cumulative snapshots.
+    pub fn since(&self, earlier: &PredictStats) -> PredictStats {
+        PredictStats {
+            kernels: self.kernels - earlier.kernels,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            model_evals: self.model_evals - earlier.model_evals,
+            model_batches: self.model_batches - earlier.model_batches,
+        }
+    }
+}
+
+/// A serving session over any [`CostModel`]: cache in front, miss-batching
+/// behind.
+///
+/// Every `predict` call resolves its kernels in three steps: hash and look
+/// up each kernel in the sharded [`PredictionCache`]; deduplicate the
+/// distinct misses (first-occurrence order); hand those misses to the
+/// backend as **one** [`CostModel::predict_batch_ns`] call. For the neural
+/// backends that one call is one packed [`GraphBatch`] forward, so a batch
+/// with `m` distinct misses costs exactly one forward pass — and a batch
+/// with none costs zero.
+///
+/// The cache sits behind an [`Arc`] so one cache can back several sessions
+/// (e.g. the autotuner's model phase and the final report) and survive the
+/// session itself. `Predictor` is itself a [`CostModel`], so anything that
+/// consumes the trait gets caching and miss-batching for free.
+pub struct Predictor<M> {
+    model: M,
+    cache: Arc<PredictionCache>,
+    name: String,
+    kernels: AtomicU64,
+    hits: AtomicU64,
+    evals: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl<M: CostModel> Predictor<M> {
+    /// A session with a fresh unbounded cache.
+    pub fn new(model: M) -> Predictor<M> {
+        Predictor::with_cache(model, Arc::new(PredictionCache::new()))
+    }
+
+    /// A session over a shared (possibly pre-warmed) cache.
+    pub fn with_cache(model: M, cache: Arc<PredictionCache>) -> Predictor<M> {
+        let name = format!("cached-{}", model.name());
+        Predictor {
+            model,
+            cache,
+            name,
+            kernels: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// A session that never caches (zero-capacity cache): every distinct
+    /// kernel in a call is evaluated fresh. The uncached baseline for
+    /// benchmarks, on the same code path.
+    pub fn uncached(model: M) -> Predictor<M> {
+        Predictor::with_cache(model, Arc::new(PredictionCache::with_capacity(0)))
     }
 
     /// The wrapped model.
-    pub fn inner(&self) -> &M {
-        &self.inner
+    pub fn model(&self) -> &M {
+        &self.model
     }
 
     /// The cache (sharable via clone of the [`Arc`]).
@@ -239,114 +304,57 @@ impl<M: CostModel> CachedModel<M> {
     }
 
     /// Shortcut for `self.cache().stats()`.
-    pub fn stats(&self) -> CacheStats {
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
-}
 
-impl<M: CostModel> CostModel for CachedModel<M> {
-    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
-        self.cache
-            .get_or_compute(kernel, || self.inner.predict_kernel_ns(kernel))
-    }
-    fn name(&self) -> &str {
-        &self.name
-    }
-}
-
-/// Scores kernels through a [`KernelModel`] in packed batches.
-///
-/// One forward pass per `batch_size` kernels replaces one per kernel; the
-/// featurization step runs rayon-parallel. Results are positionally
-/// identical to the serial per-kernel path because packing preserves input
-/// order and each kernel's sub-graph is disjoint within the batch.
-pub struct BatchedPredictor<'m, M> {
-    model: &'m M,
-    batch_size: usize,
-}
-
-impl<'m, M: KernelModel> BatchedPredictor<'m, M> {
-    /// A predictor with the default batch size (64 kernels per pass).
-    pub fn new(model: &'m M) -> BatchedPredictor<'m, M> {
-        BatchedPredictor {
-            model,
-            batch_size: 64,
+    /// Cumulative serving counters for this session.
+    pub fn stats(&self) -> PredictStats {
+        PredictStats {
+            kernels: self.kernels.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            model_evals: self.evals.load(Ordering::Relaxed),
+            model_batches: self.batches.load(Ordering::Relaxed),
         }
     }
 
-    /// Override the number of kernels packed per forward pass.
-    pub fn with_batch_size(mut self, batch_size: usize) -> BatchedPredictor<'m, M> {
-        self.batch_size = batch_size.max(1);
-        self
+    /// Runtime predictions (ns) for a slice of kernels, positionally.
+    pub fn predict_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        let refs: Vec<&Kernel> = kernels.iter().collect();
+        self.predict_ns_refs(&refs).0
     }
 
-    /// Log-runtime predictions for already-featurized kernels, in order.
-    pub fn predict_log_ns(&self, prepared: &[Prepared]) -> Vec<f64> {
-        let refs: Vec<&Prepared> = prepared.iter().collect();
-        self.predict_log_ns_refs(&refs)
-    }
-
-    /// Like [`BatchedPredictor::predict_log_ns`] but over references.
-    pub fn predict_log_ns_refs(&self, prepared: &[&Prepared]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(prepared.len());
-        // One tape for every chunk: reset() recycles the previous chunk's
-        // buffers instead of reallocating them.
-        let mut tape = Tape::new();
-        for chunk in prepared.chunks(self.batch_size) {
-            let batch = GraphBatch::pack(chunk);
-            tape.reset();
-            let pred = self.model.forward_batch(&mut tape, &batch);
-            let t = tape.value(pred);
-            out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));
-        }
-        out
-    }
-
-    /// Runtime predictions (ns) for raw kernels: parallel featurization,
-    /// then batched forward passes.
-    pub fn predict_ns(&self, kernels: &[Kernel]) -> Vec<f64> {
-        let prepared = Prepared::from_kernels(kernels);
-        self.predict_log_ns(&prepared)
-            .into_iter()
-            .map(f64::exp)
-            .collect()
-    }
-
-    /// Runtime predictions (ns) served through a [`PredictionCache`].
-    ///
-    /// Only kernels whose canonical hash misses the cache are featurized
-    /// and forwarded — and each distinct structure at most once per call,
-    /// however many duplicates the input contains. Cached values are reused
-    /// bit-for-bit, so repeated calls return identical vectors.
-    pub fn predict_ns_cached(&self, kernels: &[Kernel], cache: &PredictionCache) -> Vec<f64> {
-        let hashes: Vec<u64> = kernels.iter().map(canonical_kernel_hash).collect();
-        let mut resolved: Vec<Option<f64>> = hashes
-            .iter()
-            .map(|&h| cache.lookup_hash(h).flatten())
-            .collect();
+    /// Like [`Predictor::predict_ns`] but over references, returning this
+    /// call's [`PredictStats`] alongside the predictions.
+    pub fn predict_ns_refs(&self, kernels: &[&Kernel]) -> (Vec<Option<f64>>, PredictStats) {
+        let hashes: Vec<u64> = kernels.iter().map(|k| canonical_kernel_hash(k)).collect();
+        // `Some(cached)` = resolved (the cached value may itself be `None`
+        // for a kernel the backend cannot score); `None` = cache miss.
+        let mut resolved: Vec<Option<Option<f64>>> =
+            hashes.iter().map(|&h| self.cache.lookup_hash(h)).collect();
+        let call_hits = resolved.iter().filter(|r| r.is_some()).count() as u64;
 
         // First input index per distinct missing hash.
         let mut pending: Vec<usize> = Vec::new();
-        let mut seen: HashMap<u64, ()> = HashMap::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         for (i, r) in resolved.iter().enumerate() {
-            if r.is_none() && seen.insert(hashes[i], ()).is_none() {
+            if r.is_none() && seen.insert(hashes[i]) {
                 pending.push(i);
             }
         }
 
+        let mut model_batches = 0u64;
         if !pending.is_empty() {
-            let fresh_kernels: Vec<Kernel> =
-                pending.iter().map(|&i| kernels[i].clone()).collect();
-            let fresh_ns = self.predict_ns(&fresh_kernels);
-            for (&i, &ns) in pending.iter().zip(&fresh_ns) {
-                cache.insert_hash(hashes[i], Some(ns));
+            let miss_kernels: Vec<Kernel> =
+                pending.iter().map(|&i| Kernel::clone(kernels[i])).collect();
+            let fresh = self.model.predict_batch_ns(&miss_kernels);
+            model_batches = 1;
+            let mut by_hash: HashMap<u64, Option<f64>> = HashMap::with_capacity(pending.len());
+            for (&i, ns) in pending.iter().zip(fresh) {
+                self.cache.insert_hash(hashes[i], ns);
+                by_hash.insert(hashes[i], ns);
             }
             // Fill every position (including duplicates of a miss).
-            let by_hash: HashMap<u64, f64> = pending
-                .iter()
-                .zip(&fresh_ns)
-                .map(|(&i, &ns)| (hashes[i], ns))
-                .collect();
             for (i, r) in resolved.iter_mut().enumerate() {
                 if r.is_none() {
                     *r = by_hash.get(&hashes[i]).copied();
@@ -354,11 +362,76 @@ impl<'m, M: KernelModel> BatchedPredictor<'m, M> {
             }
         }
 
-        resolved
+        let stats = PredictStats {
+            kernels: kernels.len() as u64,
+            cache_hits: call_hits,
+            model_evals: pending.len() as u64,
+            model_batches,
+        };
+        self.kernels.fetch_add(stats.kernels, Ordering::Relaxed);
+        self.hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.evals.fetch_add(stats.model_evals, Ordering::Relaxed);
+        self.batches.fetch_add(stats.model_batches, Ordering::Relaxed);
+
+        let out = resolved
             .into_iter()
             .map(|r| r.expect("every kernel resolved"))
-            .collect()
+            .collect();
+        (out, stats)
     }
+}
+
+impl<M: CostModel> CostModel for Predictor<M> {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        self.predict_ns_refs(&[kernel]).0.pop().unwrap()
+    }
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        self.predict_ns(kernels)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One packed forward pass over already-featurized kernels, in the log-ns
+/// domain. Empty input is an empty output (no forward runs at all).
+///
+/// This is the shared serving primitive behind the neural backends'
+/// [`CostModel::predict_batch_ns`]: the whole slice becomes a single
+/// disjoint [`GraphBatch`].
+pub fn forward_log_ns<M: KernelModel + ?Sized>(model: &M, prepared: &[&Prepared]) -> Vec<f64> {
+    let Some(batch) = GraphBatch::pack(prepared) else {
+        return Vec::new();
+    };
+    let mut tape = Tape::new();
+    let pred = model.forward_batch(&mut tape, &batch);
+    let t = tape.value(pred);
+    (0..t.rows()).map(|r| t.get(r, 0) as f64).collect()
+}
+
+/// Chunked variant of [`forward_log_ns`] for large evaluation sets, where
+/// packing everything into one graph would be memory-hungry: one forward
+/// per `chunk` kernels, one recycled tape arena across chunks. Results are
+/// positionally identical to the unchunked call for the GNN (disjoint
+/// segments) and within padding arithmetic for the masked LSTM.
+pub fn forward_log_ns_chunked<M: KernelModel + ?Sized>(
+    model: &M,
+    prepared: &[&Prepared],
+    chunk: usize,
+) -> Vec<f64> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(prepared.len());
+    let mut tape = Tape::new();
+    for part in prepared.chunks(chunk) {
+        let Some(batch) = GraphBatch::pack(part) else {
+            continue;
+        };
+        tape.reset();
+        let pred = model.forward_batch(&mut tape, &batch);
+        let t = tape.value(pred);
+        out.extend((0..t.rows()).map(|r| t.get(r, 0) as f64));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -420,45 +493,122 @@ mod tests {
     }
 
     #[test]
-    fn cached_model_counts_inner_calls() {
+    fn predictor_serves_second_call_from_cache() {
         let calls = AtomicUsize::new(0);
         let inner = FnCostModel::new("probe", |k: &Kernel| {
             calls.fetch_add(1, Ordering::SeqCst);
             Some(k.computation.num_nodes() as f64)
         });
-        let m = CachedModel::new(inner);
+        let p = Predictor::new(inner);
         let k = kernel(32);
-        let first = m.predict_kernel_ns(&k);
-        let second = m.predict_kernel_ns(&k);
+        let first = p.predict_kernel_ns(&k);
+        let second = p.predict_kernel_ns(&k);
         assert_eq!(first, second);
         assert_eq!(calls.load(Ordering::SeqCst), 1, "second call must hit cache");
-        assert_eq!(m.name(), "cached-probe");
-        assert_eq!(m.stats().hits, 1);
+        assert_eq!(p.name(), "cached-probe");
+        let s = p.stats();
+        assert_eq!((s.kernels, s.cache_hits, s.model_evals, s.model_batches), (2, 1, 1, 1));
     }
 
     #[test]
-    fn batched_predictor_matches_per_kernel_path() {
+    fn one_backend_batch_per_miss_batch() {
+        // The Predictor must present all distinct misses of a call as ONE
+        // predict_batch_ns call, however many kernels and duplicates the
+        // call contains — and zero calls when everything hits the cache.
+        let batch_calls = AtomicUsize::new(0);
+        struct Probe<'a> {
+            batch_calls: &'a AtomicUsize,
+        }
+        impl CostModel for Probe<'_> {
+            fn predict_kernel_ns(&self, k: &Kernel) -> Option<f64> {
+                Some(k.computation.num_nodes() as f64)
+            }
+            fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+                self.batch_calls.fetch_add(1, Ordering::SeqCst);
+                kernels.iter().map(|k| self.predict_kernel_ns(k)).collect()
+            }
+            fn name(&self) -> &str {
+                "probe"
+            }
+        }
+        let p = Predictor::new(Probe { batch_calls: &batch_calls });
+        // 4 distinct structures among 8 inputs.
+        let kernels: Vec<Kernel> = (0..8).map(|i| kernel(16 * (1 + i % 4))).collect();
+        let (first, s1) = p.predict_ns_refs(&kernels.iter().collect::<Vec<_>>());
+        assert_eq!(batch_calls.load(Ordering::SeqCst), 1);
+        assert_eq!((s1.kernels, s1.cache_hits, s1.model_evals, s1.model_batches), (8, 0, 4, 1));
+        let (second, s2) = p.predict_ns_refs(&kernels.iter().collect::<Vec<_>>());
+        assert_eq!(batch_calls.load(Ordering::SeqCst), 1, "all-hit call must not touch the model");
+        assert_eq!((s2.cache_hits, s2.model_evals, s2.model_batches), (8, 0, 0));
+        assert_eq!(first, second);
+        assert_eq!(first[0], first[4], "duplicate kernels share predictions");
+    }
+
+    #[test]
+    fn gnn_miss_batch_is_one_packed_forward() {
+        // The acceptance-criterion wiring: Predictor over the real GNN, a
+        // cold batch of N distinct kernels is exactly one backend batch
+        // (one GraphBatch::pack + one forward inside predict_batch_ns),
+        // and a warm batch is zero.
         let model = GnnModel::new(GnnConfig::default());
-        let kernels: Vec<Kernel> = (1..=7).map(|i| kernel(i * 16)).collect();
-        let batched = BatchedPredictor::new(&model).with_batch_size(3).predict_ns(&kernels);
-        for (k, &b) in kernels.iter().zip(&batched) {
-            assert_eq!(b, model.predict_ns(k), "batched must be bit-identical");
+        let p = Predictor::new(&model);
+        let kernels: Vec<Kernel> = (1..=6).map(|i| kernel(i * 16)).collect();
+        let cold = p.predict_ns(&kernels);
+        let s = p.stats();
+        assert_eq!((s.kernels, s.model_evals, s.model_batches), (6, 6, 1));
+        let warm = p.predict_ns(&kernels);
+        let s = p.stats();
+        assert_eq!((s.kernels, s.cache_hits, s.model_batches), (12, 6, 1));
+        assert_eq!(cold, warm, "cached values are reused bit-for-bit");
+        // And positionally bit-identical to the per-kernel path.
+        for (k, c) in kernels.iter().zip(&cold) {
+            assert_eq!(*c, Some(model.predict_ns(k)));
         }
     }
 
     #[test]
-    fn cached_batch_prediction_is_stable_and_deduplicates() {
+    fn uncached_predictor_always_reevaluates() {
+        let calls = AtomicUsize::new(0);
+        let inner = FnCostModel::new("probe", |_k: &Kernel| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Some(1.0)
+        });
+        let p = Predictor::uncached(inner);
+        let k = kernel(32);
+        p.predict_kernel_ns(&k);
+        p.predict_kernel_ns(&k);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(p.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn predictor_caches_unsupported_kernels() {
+        let inner = FnCostModel::new("none", |_k: &Kernel| None);
+        let p = Predictor::new(inner);
+        let k = kernel(32);
+        assert_eq!(p.predict_kernel_ns(&k), None);
+        assert_eq!(p.predict_kernel_ns(&k), None);
+        let s = p.stats();
+        assert_eq!((s.cache_hits, s.model_evals), (1, 1), "None is cached too");
+    }
+
+    #[test]
+    fn empty_batch_is_empty_and_free() {
         let model = GnnModel::new(GnnConfig::default());
-        let cache = PredictionCache::new();
-        // Duplicates: 4 distinct structures among 8 inputs.
-        let kernels: Vec<Kernel> = (0..8).map(|i| kernel(16 * (1 + i % 4))).collect();
-        let p = BatchedPredictor::new(&model);
-        let first = p.predict_ns_cached(&kernels, &cache);
-        assert_eq!(cache.len(), 4, "one entry per distinct structure");
-        let second = p.predict_ns_cached(&kernels, &cache);
-        assert_eq!(first, second);
-        let s = cache.stats();
-        assert_eq!(s.hits, 8, "second pass fully cached");
-        assert_eq!(first[0], first[4], "duplicate kernels share predictions");
+        let p = Predictor::new(&model);
+        assert!(p.predict_ns(&[]).is_empty());
+        assert_eq!(p.stats().model_batches, 0);
+        assert!(forward_log_ns(&model, &[]).is_empty());
+    }
+
+    #[test]
+    fn chunked_forward_matches_unchunked() {
+        let model = GnnModel::new(GnnConfig::default());
+        let kernels: Vec<Kernel> = (1..=7).map(|i| kernel(i * 16)).collect();
+        let prepared = Prepared::from_kernels(&kernels);
+        let refs: Vec<&Prepared> = prepared.iter().collect();
+        let whole = forward_log_ns(&model, &refs);
+        let chunked = forward_log_ns_chunked(&model, &refs, 3);
+        assert_eq!(whole, chunked, "disjoint segments: chunking is invisible");
     }
 }

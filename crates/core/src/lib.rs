@@ -16,12 +16,13 @@
 //!   tile-size objective (pairwise rank loss, Eq. 2) with per-kernel batch
 //!   grouping, plus the hyperparameter grid search,
 //! - [`metrics`]: MAPE and Kendall's τ as reported in Tables 2–3,
-//! - [`CostModel`]: one interface over learned/analytical/simulator
-//!   backends, making the model retargetable across compiler tasks,
-//! - [`PredictionCache`] / [`BatchedPredictor`] / [`CachedModel`]: the
-//!   inference engine — parallel featurization, canonical-hash prediction
-//!   caching, and batched forward passes for serving the model inside an
-//!   autotuner (§6.3).
+//! - [`CostModel`]: one batch-first interface over learned/analytical/
+//!   simulator backends, making the model retargetable across compiler
+//!   tasks — `predict_batch_ns` is the primary serving surface,
+//! - [`Predictor`] / [`PredictionCache`]: the inference engine — a serving
+//!   session that answers what it can from the canonical-hash cache and
+//!   presents the distinct misses to the backend as one packed forward
+//!   pass, for serving the model inside an autotuner (§6.3).
 //!
 //! # Example
 //!
@@ -51,9 +52,11 @@ mod model;
 mod train;
 
 pub use batch::{GraphBatch, Prepared, Sample};
-pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm};
+pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm, BundleError};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
-pub use engine::{BatchedPredictor, CacheStats, CachedModel, PredictionCache};
+pub use engine::{
+    forward_log_ns, forward_log_ns_chunked, CacheStats, PredictStats, PredictionCache, Predictor,
+};
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
 pub use train::{

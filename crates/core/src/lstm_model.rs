@@ -161,10 +161,12 @@ impl LstmModel {
         tape.add_scalar(y, crate::model::LOG_NS_OFFSET)
     }
 
-    /// Predict log-runtime for one kernel.
+    /// Predict log-runtime for one kernel. Batched callers go through
+    /// [`CostModel::predict_batch_ns`](crate::CostModel) or a
+    /// [`Predictor`](crate::Predictor) session instead.
     pub fn predict_log_ns(&self, kernel: &Kernel) -> f64 {
         let prepared = Prepared::from_sample(&Sample::new(kernel.clone(), 0.0));
-        let batch = GraphBatch::pack(&[&prepared]);
+        let batch = GraphBatch::pack(&[&prepared]).expect("one kernel");
         let mut tape = Tape::new();
         let out = self.forward(&mut tape, &batch);
         tape.value(out).item() as f64
@@ -173,18 +175,6 @@ impl LstmModel {
     /// Predict runtime in nanoseconds.
     pub fn predict_ns(&self, kernel: &Kernel) -> f64 {
         self.predict_log_ns(kernel).exp()
-    }
-
-    /// Predict log-runtimes for many prepared kernels.
-    pub fn predict_batch_log_ns(&self, prepared: &[&Prepared]) -> Vec<f64> {
-        if prepared.is_empty() {
-            return Vec::new();
-        }
-        let batch = GraphBatch::pack(prepared);
-        let mut tape = Tape::new();
-        let out = self.forward(&mut tape, &batch);
-        let t = tape.value(out);
-        (0..t.rows()).map(|r| t.get(r, 0) as f64).collect()
     }
 }
 
@@ -207,7 +197,7 @@ mod tests {
         let m = LstmModel::new(LstmConfig::default());
         let p1 = Prepared::from_sample(&Sample::new(kernel(2), 100.0));
         let p2 = Prepared::from_sample(&Sample::new(kernel(5), 100.0));
-        let batch = GraphBatch::pack(&[&p1, &p2]);
+        let batch = GraphBatch::pack(&[&p1, &p2]).unwrap();
         let mut tape = Tape::new();
         let out = m.forward(&mut tape, &batch);
         assert_eq!(tape.value(out).shape(), (2, 1));
@@ -223,7 +213,7 @@ mod tests {
         let alone = m.predict_log_ns(&short);
         let ps = Prepared::from_sample(&Sample::new(short, 0.0));
         let pl = Prepared::from_sample(&Sample::new(long, 0.0));
-        let both = m.predict_batch_log_ns(&[&ps, &pl]);
+        let both = crate::engine::forward_log_ns(&m, &[&ps, &pl]);
         assert!(
             (both[0] - alone).abs() < 1e-5,
             "batched={} alone={alone}",

@@ -7,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tpu_hlo::{Kernel, Opcode};
-use tpu_nn::{Activation, Embedding, Linear, ParamStore, Tape, Tensor, Var};
+use tpu_nn::{Activation, Embedding, Linear, ParamStore, Tape, Var};
 
 /// Constant added to the head output: centers untrained predictions near
 /// `e^8 ≈ 3 µs`, the middle of the kernel-runtime distribution (§5).
@@ -286,10 +286,12 @@ impl GnnModel {
         tape.add_scalar(y, LOG_NS_OFFSET)
     }
 
-    /// Predict log-runtime for a single kernel (inference).
+    /// Predict log-runtime for a single kernel (inference). Batched callers
+    /// go through [`CostModel::predict_batch_ns`](crate::CostModel) or a
+    /// [`Predictor`](crate::Predictor) session instead.
     pub fn predict_log_ns(&self, kernel: &Kernel) -> f64 {
         let prepared = Prepared::from_sample(&Sample::new(kernel.clone(), 0.0));
-        let batch = GraphBatch::pack(&[&prepared]);
+        let batch = GraphBatch::pack(&[&prepared]).expect("one kernel");
         let mut tape = Tape::new();
         let out = self.forward(&mut tape, &batch);
         tape.value(out).item() as f64
@@ -298,18 +300,6 @@ impl GnnModel {
     /// Predict runtime in nanoseconds for a single kernel.
     pub fn predict_ns(&self, kernel: &Kernel) -> f64 {
         self.predict_log_ns(kernel).exp()
-    }
-
-    /// Predict log-runtimes for many prepared kernels at once.
-    pub fn predict_batch_log_ns(&self, prepared: &[&Prepared]) -> Vec<f64> {
-        if prepared.is_empty() {
-            return Vec::new();
-        }
-        let batch = GraphBatch::pack(prepared);
-        let mut tape = Tape::new();
-        let out = self.forward(&mut tape, &batch);
-        let t: &Tensor = tape.value(out);
-        (0..t.rows()).map(|r| t.get(r, 0) as f64).collect()
     }
 
     /// Serialize parameters to JSON.
@@ -355,7 +345,7 @@ mod tests {
         let m = GnnModel::new(GnnConfig::default());
         let p1 = Prepared::from_sample(&Sample::new(kernel(128), 1000.0));
         let p2 = Prepared::from_sample(&Sample::new(kernel(256), 2000.0));
-        let batch = GraphBatch::pack(&[&p1, &p2]);
+        let batch = GraphBatch::pack(&[&p1, &p2]).unwrap();
         let mut tape = Tape::new();
         let out = m.forward(&mut tape, &batch);
         assert_eq!(tape.value(out).shape(), (2, 1));
@@ -439,14 +429,12 @@ mod tests {
 
     #[test]
     fn batch_prediction_matches_single() {
+        use crate::cost_model::CostModel;
         let m = GnnModel::new(GnnConfig::default());
-        let k1 = kernel(128);
-        let k2 = kernel(512);
-        let p1 = Prepared::from_sample(&Sample::new(k1.clone(), 0.0));
-        let p2 = Prepared::from_sample(&Sample::new(k2.clone(), 0.0));
-        let batch_preds = m.predict_batch_log_ns(&[&p1, &p2]);
-        assert!((batch_preds[0] - m.predict_log_ns(&k1)).abs() < 1e-5);
-        assert!((batch_preds[1] - m.predict_log_ns(&k2)).abs() < 1e-5);
+        let kernels = [kernel(128), kernel(512)];
+        let batch_preds = m.predict_batch_ns(&kernels);
+        assert!((batch_preds[0].unwrap().ln() - m.predict_log_ns(&kernels[0])).abs() < 1e-5);
+        assert!((batch_preds[1].unwrap().ln() - m.predict_log_ns(&kernels[1])).abs() < 1e-5);
     }
 }
 
@@ -553,7 +541,7 @@ mod invariance_tests {
         let p1 = Prepared::from_sample(&Sample::new(k1, 0.0));
         let p2 = Prepared::from_sample(&Sample::new(k2, 0.0));
         let fwd = |items: &[&Prepared]| -> Vec<f64> {
-            let batch = GraphBatch::pack(items);
+            let batch = GraphBatch::pack(items).unwrap();
             let mut tape = tpu_nn::Tape::new();
             let out = model.forward(&mut tape, &batch);
             let t = tape.value(out);

@@ -146,10 +146,11 @@ pub fn prepare(samples: &[Sample]) -> Vec<Prepared> {
     Prepared::from_samples(samples)
 }
 
-/// Batched log-runtime prediction over prepared samples (one forward pass
-/// per 64 kernels, via [`crate::BatchedPredictor`]).
+/// Batched log-runtime prediction over prepared samples (one packed
+/// forward pass per 64 kernels, via [`crate::forward_log_ns_chunked`]).
 pub fn predict_log_ns<M: KernelModel>(model: &M, prepared: &[Prepared]) -> Vec<f64> {
-    crate::engine::BatchedPredictor::new(model).predict_log_ns(prepared)
+    let refs: Vec<&Prepared> = prepared.iter().collect();
+    crate::engine::forward_log_ns_chunked(model, &refs, 64)
 }
 
 /// Validation metric: fusion → MAPE on ns (lower better); tile → mean
@@ -376,7 +377,7 @@ pub fn train_step<M: KernelModel>(
         .map(|(mut tape, sidx, w)| {
             tape.reset();
             let refs: Vec<&Prepared> = sidx.iter().map(|&i| &train_set[i]).collect();
-            let batch = GraphBatch::pack(&refs);
+            let batch = GraphBatch::pack(&refs).expect("shards are non-empty");
             let mut gb = GradBuffer::new();
             let val = batch_loss(model_ref, &mut tape, &batch, loss_kind).map(|loss| {
                 let scaled = tape.scale(loss, w);

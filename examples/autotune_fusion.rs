@@ -31,9 +31,10 @@ fn main() {
     let device = TpuDevice::with_config(machine.clone(), 7);
     let budgets = Budgets {
         hardware_ns: 60e9,  // one minute of device time
-        model_steps: 1_500, // CPU-side search steps
+        model_steps: 1_500, // CPU-side search steps, shared across chains
         best_known_ns: 300e9,
         top_k: 12,
+        chains: 4, // parallel annealing chains, batched per step
     };
 
     for mode in [StartMode::Default, StartMode::Random] {

@@ -189,6 +189,7 @@ fn autotuner_with_trained_model_helps_from_random_start() {
             model_steps: 300,
             best_known_ns: 100e9,
             top_k: 8,
+            chains: 2,
         },
         3,
     );

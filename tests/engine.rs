@@ -1,17 +1,17 @@
-//! Integration tests for the batched, cached inference engine: cache
-//! correctness (bit-identical to the uncached serial path, no hash
-//! collisions between structurally distinct kernels, zero fresh model
-//! evaluations on revisits) and determinism of the rayon-parallel paths
-//! across thread counts.
+//! Integration tests for the batch-first serving engine: cache correctness
+//! (bit-identical to the uncached serial path, no hash collisions between
+//! structurally distinct kernels, zero fresh model evaluations on
+//! revisits) and determinism of the rayon-parallel paths across thread
+//! counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use tpu_repro::autotuner::{autotune_with_cost_model, Budgets, StartMode};
 use tpu_repro::hlo::{
     canonical_kernel_hash, DType, GraphBuilder, Kernel, Program, Shape, TileSize,
 };
 use tpu_repro::learned::{
-    BatchedPredictor, CachedModel, CostModel, FnCostModel, GnnConfig, GnnModel, PredictionCache,
-    Prepared,
+    CostModel, FnCostModel, GnnConfig, GnnModel, PredictionCache, Predictor, Prepared,
 };
 use tpu_repro::sim::{kernel_time_ns, TpuConfig, TpuDevice};
 
@@ -56,22 +56,45 @@ fn cached_predictions_bit_identical_to_uncached_serial() {
     let kernels = kernel_corpus();
 
     // Reference: the serial, uncached, one-kernel-at-a-time path.
-    let serial: Vec<f64> = kernels.iter().map(|k| model.predict_ns(k)).collect();
+    let serial: Vec<Option<f64>> = kernels.iter().map(|k| Some(model.predict_ns(k))).collect();
 
-    let cache = PredictionCache::new();
-    let predictor = BatchedPredictor::new(&model).with_batch_size(4);
-    let cold = predictor.predict_ns_cached(&kernels, &cache);
-    let warm = predictor.predict_ns_cached(&kernels, &cache);
+    let predictor = Predictor::new(&model);
+    let cold = predictor.predict_ns(&kernels);
+    let warm = predictor.predict_ns(&kernels);
 
     assert_eq!(serial, cold, "cold cached path must be bit-identical");
     assert_eq!(serial, warm, "warm cached path must be bit-identical");
 
-    // And through the CostModel wrapper as well.
-    let cached_model = CachedModel::new(GnnModel::new(GnnConfig::default()));
-    for (k, &expect) in kernels.iter().zip(&serial) {
-        assert_eq!(cached_model.predict_kernel_ns(k), Some(expect));
-        assert_eq!(cached_model.predict_kernel_ns(k), Some(expect));
+    let stats = predictor.stats();
+    assert_eq!(stats.kernels, 2 * kernels.len() as u64);
+    assert_eq!(stats.model_evals, kernels.len() as u64, "one eval per distinct kernel");
+    assert_eq!(stats.cache_hits, kernels.len() as u64, "warm pass all hits");
+
+    // And through the CostModel trait surface as well.
+    for (k, expect) in kernels.iter().zip(&serial) {
+        assert_eq!(predictor.predict_kernel_ns(k), *expect);
     }
+}
+
+#[test]
+fn miss_batch_is_one_backend_call() {
+    // The acceptance property of the batch-first engine: a cold batch of
+    // N kernels costs exactly one backend batch (for the GNN, one packed
+    // forward); a warm batch costs zero.
+    let model = GnnModel::new(GnnConfig::default());
+    let kernels = kernel_corpus();
+    let predictor = Predictor::new(&model);
+
+    let _ = predictor.predict_ns(&kernels);
+    let cold = predictor.stats();
+    assert_eq!(cold.model_batches, 1, "one packed forward for the cold batch");
+    assert_eq!(cold.model_evals, kernels.len() as u64);
+
+    let _ = predictor.predict_ns(&kernels);
+    let warm = predictor.stats().since(&cold);
+    assert_eq!(warm.model_batches, 0, "warm batch needs no forward at all");
+    assert_eq!(warm.model_evals, 0);
+    assert_eq!(warm.cache_hits, kernels.len() as u64);
 }
 
 #[test]
@@ -120,13 +143,14 @@ fn revisiting_a_configuration_costs_zero_fresh_model_evals() {
         evals.fetch_add(1, Ordering::SeqCst);
         Some(kernel_time_ns(k, &machine))
     });
-    let cache = PredictionCache::new();
+    let cache = Arc::new(PredictionCache::new());
     let device = TpuDevice::new(7);
     let budgets = Budgets {
         hardware_ns: 30e9,
         model_steps: 200,
         best_known_ns: 60e9,
         top_k: 4,
+        chains: 4,
     };
 
     let first = autotune_with_cost_model(
@@ -135,6 +159,12 @@ fn revisiting_a_configuration_costs_zero_fresh_model_evals() {
     let evals_after_first = evals.load(Ordering::SeqCst);
     assert!(evals_after_first > 0, "first run must evaluate the model");
     assert_eq!(first.model_evals as usize, evals_after_first);
+    assert!(
+        first.model_batches < first.model_evals,
+        "misses must be batched: {} batches for {} evals",
+        first.model_batches,
+        first.model_evals
+    );
 
     // Same program, same search, same cache: every kernel the search can
     // reach was already scored, so the model is never invoked again.
@@ -147,6 +177,7 @@ fn revisiting_a_configuration_costs_zero_fresh_model_evals() {
         "revisited configurations must be served from the cache"
     );
     assert_eq!(second.model_evals, 0);
+    assert_eq!(second.model_batches, 0);
     assert!(second.cache_hits > 0);
     assert_eq!(first.config, second.config, "same seed, same outcome");
 }
@@ -158,7 +189,8 @@ fn parallel_paths_match_serial_for_any_thread_count() {
 
     // Plain serial references, computed without rayon at all.
     let serial_prep: Vec<Prepared> = kernels.iter().map(Prepared::from_kernel).collect();
-    let serial_ns: Vec<f64> = kernels.iter().map(|k| model.predict_ns(k)).collect();
+    let serial_ns: Vec<Option<f64>> =
+        kernels.iter().map(|k| Some(model.predict_ns(k))).collect();
 
     let assert_matches = |label: &str| {
         let prep = Prepared::from_kernels(&kernels);
@@ -172,7 +204,9 @@ fn parallel_paths_match_serial_for_any_thread_count() {
                 "{label}: features differ"
             );
         }
-        let ns = BatchedPredictor::new(&model).with_batch_size(5).predict_ns(&kernels);
+        // The uncached predictor exercises the same batch path with every
+        // kernel treated as a fresh miss.
+        let ns = Predictor::uncached(&model).predict_ns(&kernels);
         assert_eq!(ns, serial_ns, "{label}: predictions differ");
     };
 
