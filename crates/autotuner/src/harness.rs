@@ -13,12 +13,13 @@
 //!   their kernels, and resolve them in one predictor call so all chains'
 //!   cache misses share a single packed model forward.
 
-use crate::sa::{simulated_annealing, BatchObjective, SaConfig};
+use crate::sa::{simulated_annealing_observed, BatchObjective, SaConfig};
 use rayon::prelude::*;
 use std::sync::Arc;
 use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpace};
 use tpu_hlo::{FusedProgram, Kernel, Program};
 use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache, Predictor};
+use tpu_obs::{Counter, Gauge, Histogram, Registry};
 use tpu_sim::TpuDevice;
 
 /// Where the search starts (§6.3 runs the autotuner "in two modes").
@@ -93,6 +94,38 @@ pub struct HardwareObjective<'a> {
     device: &'a TpuDevice,
     budget_ns: f64,
     hw_evals: usize,
+    obs: HwObs,
+}
+
+/// `tpu-obs` handles for the hardware path (`autotuner.hw.*`).
+struct HwObs {
+    evals: Counter,
+    budget_exhausted: Counter,
+    measure_ns: Histogram,
+    device_time_ns: Gauge,
+    budget_ns: Gauge,
+}
+
+impl HwObs {
+    fn new(registry: &Registry) -> HwObs {
+        HwObs {
+            evals: registry.counter("autotuner.hw.evals"),
+            budget_exhausted: registry.counter("autotuner.hw.budget_exhausted"),
+            measure_ns: registry.histogram("autotuner.hw.measure_ns"),
+            device_time_ns: registry.gauge("autotuner.hw.device_time_ns"),
+            budget_ns: registry.gauge("autotuner.hw.budget_ns"),
+        }
+    }
+
+    fn noop() -> HwObs {
+        HwObs {
+            evals: Counter::noop(),
+            budget_exhausted: Counter::noop(),
+            measure_ns: Histogram::noop(),
+            device_time_ns: Gauge::noop(),
+            budget_ns: Gauge::noop(),
+        }
+    }
 }
 
 impl<'a> HardwareObjective<'a> {
@@ -108,19 +141,36 @@ impl<'a> HardwareObjective<'a> {
             device,
             budget_ns,
             hw_evals: 0,
+            obs: HwObs::noop(),
         }
+    }
+
+    /// Record `autotuner.hw.*` metrics into `registry`: measurement
+    /// counts, wall time per measurement, and the metered device time
+    /// against the budget (both exported as gauges).
+    pub fn observed(mut self, registry: &Registry) -> HardwareObjective<'a> {
+        self.obs = HwObs::new(registry);
+        self.obs.budget_ns.set(self.budget_ns);
+        self.obs.device_time_ns.set(self.device.device_time_used());
+        self
     }
 
     /// One metered measurement: the compile/eval overhead plus one noisy
     /// run, or `None` if the budget is already spent.
     pub fn measure(&mut self, config: &FusionConfig) -> Option<f64> {
         if self.device.device_time_used() >= self.budget_ns {
+            self.obs.budget_exhausted.inc();
             return None;
         }
+        let timer = self.obs.measure_ns.start_timer();
         self.device.charge_eval_overhead();
         let fused = apply_fusion(self.program, self.space, config);
         self.hw_evals += 1;
-        Some(self.device.execute_program(&fused))
+        let t = self.device.execute_program(&fused);
+        timer.stop();
+        self.obs.evals.inc();
+        self.obs.device_time_ns.set(self.device.device_time_used());
+        Some(t)
     }
 
     /// Measurements performed so far.
@@ -166,6 +216,31 @@ pub struct ModelObjective<'a, M: CostModel + ?Sized> {
     program: &'a Program,
     space: &'a FusionSpace,
     predictor: &'a Predictor<&'a M>,
+    obs: ModelObs,
+}
+
+/// `tpu-obs` handles for the model path (`autotuner.model.*`). The
+/// predictor itself carries the cache/forward metrics (`core.engine.*`);
+/// this layer only tracks config-level throughput.
+struct ModelObs {
+    configs: Counter,
+    evaluate_ns: Histogram,
+}
+
+impl ModelObs {
+    fn new(registry: &Registry) -> ModelObs {
+        ModelObs {
+            configs: registry.counter("autotuner.model.configs"),
+            evaluate_ns: registry.histogram("autotuner.model.evaluate_ns"),
+        }
+    }
+
+    fn noop() -> ModelObs {
+        ModelObs {
+            configs: Counter::noop(),
+            evaluate_ns: Histogram::noop(),
+        }
+    }
 }
 
 impl<'a, M: CostModel + ?Sized> ModelObjective<'a, M> {
@@ -178,12 +253,22 @@ impl<'a, M: CostModel + ?Sized> ModelObjective<'a, M> {
             program,
             space,
             predictor,
+            obs: ModelObs::noop(),
         }
+    }
+
+    /// Record `autotuner.model.*` metrics into `registry`: configs scored
+    /// and wall time per batched evaluate call.
+    pub fn observed(mut self, registry: &Registry) -> ModelObjective<'a, M> {
+        self.obs = ModelObs::new(registry);
+        self
     }
 }
 
 impl<M: CostModel + ?Sized> BatchObjective for ModelObjective<'_, M> {
     fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+        let _timer = self.obs.evaluate_ns.start_timer();
+        self.obs.configs.add(configs.len() as u64);
         let fused: Vec<FusedProgram> = configs
             .par_iter()
             .map(|cfg| apply_fusion(self.program, self.space, cfg))
@@ -238,11 +323,26 @@ pub fn autotune_hardware_only(
     budget_ns: f64,
     seed: u64,
 ) -> TunedConfig {
+    autotune_hardware_only_observed(program, device, mode, budget_ns, seed, &Registry::noop())
+}
+
+/// [`autotune_hardware_only`] with `autotuner.sa.*` and `autotuner.hw.*`
+/// metrics recorded into `registry`. Instrumentation is read-only: the
+/// tuned config is bit-identical whether or not the registry is enabled.
+pub fn autotune_hardware_only_observed(
+    program: &Program,
+    device: &TpuDevice,
+    mode: StartMode,
+    budget_ns: f64,
+    seed: u64,
+    registry: &Registry,
+) -> TunedConfig {
     let (space, _) = default_space_and_config(&program.computation);
     let start = start_config(program, &space, mode, seed);
     device.reset_time_used();
-    let mut hw = HardwareObjective::new(program, &space, device, budget_ns);
-    let result = simulated_annealing(
+    let mut hw =
+        HardwareObjective::new(program, &space, device, budget_ns).observed(registry);
+    let result = simulated_annealing_observed(
         &space,
         start.clone(),
         |cfg: &FusionConfig| hw.measure(cfg).unwrap_or(f64::NAN),
@@ -252,6 +352,7 @@ pub fn autotune_hardware_only(
             chains: 1,
             ..Default::default()
         },
+        registry,
     );
     let hw_evals = hw.hw_evals();
     let best = if result.best_cost.is_finite() {
@@ -317,15 +418,43 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     budgets: &Budgets,
     seed: u64,
 ) -> TunedConfig {
+    autotune_with_cost_model_observed(
+        program,
+        device,
+        model,
+        cache,
+        mode,
+        budgets,
+        seed,
+        &Registry::noop(),
+    )
+}
+
+/// [`autotune_with_cost_model`] with metrics recorded into `registry`:
+/// the model phase fills `autotuner.sa.*`, `autotuner.model.*` and the
+/// predictor's `core.engine.*` / `core.cache.*` families; the top-k
+/// re-rank fills `autotuner.hw.*`. Instrumentation is read-only: the
+/// tuned config is bit-identical whether or not the registry is enabled.
+#[allow(clippy::too_many_arguments)]
+pub fn autotune_with_cost_model_observed<M: CostModel + ?Sized>(
+    program: &Program,
+    device: &TpuDevice,
+    model: &M,
+    cache: &Arc<PredictionCache>,
+    mode: StartMode,
+    budgets: &Budgets,
+    seed: u64,
+    registry: &Registry,
+) -> TunedConfig {
     let (space, _) = default_space_and_config(&program.computation);
     let start = start_config(program, &space, mode, seed);
 
     // Phase 1: model-guided annealing on the CPU.
-    let predictor = Predictor::with_cache(model, Arc::clone(cache));
-    let result = simulated_annealing(
+    let predictor = Predictor::with_cache(model, Arc::clone(cache)).observed(registry);
+    let result = simulated_annealing_observed(
         &space,
         start.clone(),
-        ModelObjective::new(program, &space, &predictor),
+        ModelObjective::new(program, &space, &predictor).observed(registry),
         &SaConfig {
             steps: budgets.model_steps,
             seed,
@@ -333,8 +462,10 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
             chains: budgets.chains.max(1),
             ..Default::default()
         },
+        registry,
     );
     let stats = predictor.stats();
+    predictor.record_cache_stats();
 
     // Phase 2: measure the model's top configs on real hardware through
     // the same metered path as the hardware-only tuner; best measured
@@ -347,7 +478,8 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
     if !candidates.contains(&start) {
         candidates.push(start.clone());
     }
-    let mut hw = HardwareObjective::new(program, &space, device, budgets.hardware_ns);
+    let mut hw =
+        HardwareObjective::new(program, &space, device, budgets.hardware_ns).observed(registry);
     let mut best: Option<(FusionConfig, f64)> = None;
     for cfg in candidates {
         match hw.measure(&cfg) {
@@ -517,6 +649,99 @@ mod tests {
         assert_eq!(warm.model_evals, 0, "warm cache: zero fresh evaluations");
         assert_eq!(warm.config, cold.config, "same seed + warm cache, same answer");
         assert!(warm.cache_hits > 0);
+    }
+
+    #[test]
+    fn observed_autotune_fills_all_metric_families_and_matches_plain() {
+        let p = program();
+        let cfg = TpuConfig::default();
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        let budgets = quick_budgets();
+
+        let device = TpuDevice::new(11);
+        let plain = autotune_with_cost_model(
+            &p,
+            &device,
+            &model,
+            &Arc::new(PredictionCache::new()),
+            StartMode::Default,
+            &budgets,
+            0,
+        );
+
+        let registry = Registry::enabled();
+        let device = TpuDevice::new(11).observed(&registry);
+        let observed = autotune_with_cost_model_observed(
+            &p,
+            &device,
+            &model,
+            &Arc::new(PredictionCache::new()),
+            StartMode::Default,
+            &budgets,
+            0,
+            &registry,
+        );
+
+        // Determinism contract: same seed, same answer, instrumented or not.
+        assert_eq!(plain.config, observed.config);
+        assert_eq!(plain.true_ns.to_bits(), observed.true_ns.to_bits());
+        assert_eq!(plain.hw_evals, observed.hw_evals);
+        assert_eq!(plain.model_evals, observed.model_evals);
+        assert_eq!(plain.cache_hits, observed.cache_hits);
+
+        let snap = registry.snapshot();
+        // Model phase: SA, model objective, predictor, cache.
+        assert!(snap.counter("autotuner.sa.candidates").unwrap() > 0);
+        assert_eq!(
+            snap.counter("autotuner.model.configs"),
+            snap.counter("autotuner.sa.candidates")
+        );
+        assert_eq!(
+            snap.counter("core.engine.model_evals"),
+            Some(observed.model_evals)
+        );
+        assert_eq!(
+            snap.counter("core.engine.cache_hits"),
+            Some(observed.cache_hits)
+        );
+        assert!(snap.gauge("core.cache.entries").unwrap() > 0.0);
+        // Re-rank phase: hardware meter.
+        assert_eq!(
+            snap.counter("autotuner.hw.evals"),
+            Some(observed.hw_evals as u64)
+        );
+        assert_eq!(snap.gauge("autotuner.hw.budget_ns"), Some(budgets.hardware_ns));
+        let used = snap.gauge("autotuner.hw.device_time_ns").unwrap();
+        assert!(used > 0.0 && (used - device.device_time_used()).abs() < 1e-6);
+        // The observed device meters its own executions too.
+        assert_eq!(
+            snap.counter("sim.device.eval_overheads"),
+            Some(observed.hw_evals as u64)
+        );
+        assert!(snap.counter("sim.device.kernel_execs").unwrap() > 0);
+    }
+
+    #[test]
+    fn observed_hardware_only_counts_budget_exhaustion() {
+        let p = program();
+        let registry = Registry::enabled();
+        let device = TpuDevice::new(3);
+        let plain = autotune_hardware_only(&p, &device, StartMode::Default, 20e9, 1);
+        let device = TpuDevice::new(3);
+        let tuned =
+            autotune_hardware_only_observed(&p, &device, StartMode::Default, 20e9, 1, &registry);
+        assert_eq!(plain.config, tuned.config);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("autotuner.hw.evals"), Some(tuned.hw_evals as u64));
+        // The run ends by exhausting the budget, which the objective
+        // reports as NaN exactly once.
+        assert_eq!(snap.counter("autotuner.hw.budget_exhausted"), Some(1));
+        assert_eq!(
+            snap.histogram("autotuner.hw.measure_ns").map(|h| h.count),
+            Some(tuned.hw_evals as u64)
+        );
     }
 
     #[test]

@@ -51,9 +51,10 @@ mod random_search;
 mod sa;
 
 pub use harness::{
-    autotune_hardware_only, autotune_with_cost_model, autotune_with_model, speedup_over_default,
-    start_config, Budgets, HardwareObjective, ModelObjective, StartMode, TunedConfig,
+    autotune_hardware_only, autotune_hardware_only_observed, autotune_with_cost_model,
+    autotune_with_cost_model_observed, autotune_with_model, speedup_over_default, start_config,
+    Budgets, HardwareObjective, ModelObjective, StartMode, TunedConfig,
 };
 pub use baselines::{hill_climb, random_search, SearchResult};
 pub use random_search::random_configs;
-pub use sa::{simulated_annealing, BatchObjective, SaConfig, SaResult};
+pub use sa::{simulated_annealing, simulated_annealing_observed, BatchObjective, SaConfig, SaResult};

@@ -19,6 +19,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tpu_fusion::{FusionConfig, FusionSpace};
+use tpu_obs::{Counter, Gauge, Histogram, Registry};
 
 /// An objective evaluated over a batch of candidate configurations.
 ///
@@ -102,6 +103,44 @@ pub struct SaResult {
     pub top: Vec<(FusionConfig, f64)>,
 }
 
+/// `tpu-obs` handles for the annealer (`autotuner.sa.*`), resolved once
+/// per search.
+struct SaObs {
+    candidates: Counter,
+    accepts: Counter,
+    rejects: Counter,
+    batches: Counter,
+    batch_eval_ns: Histogram,
+    batch_size: Histogram,
+    best_cost: Gauge,
+}
+
+impl SaObs {
+    fn new(registry: &Registry) -> SaObs {
+        SaObs {
+            candidates: registry.counter("autotuner.sa.candidates"),
+            accepts: registry.counter("autotuner.sa.accepts"),
+            rejects: registry.counter("autotuner.sa.rejects"),
+            batches: registry.counter("autotuner.sa.batches"),
+            batch_eval_ns: registry.histogram("autotuner.sa.batch_eval_ns"),
+            batch_size: registry.histogram("autotuner.sa.batch_size"),
+            best_cost: registry.gauge("autotuner.sa.best_cost"),
+        }
+    }
+
+    fn noop() -> SaObs {
+        SaObs {
+            candidates: Counter::noop(),
+            accepts: Counter::noop(),
+            rejects: Counter::noop(),
+            batches: Counter::noop(),
+            batch_eval_ns: Histogram::noop(),
+            batch_size: Histogram::noop(),
+            best_cost: Gauge::noop(),
+        }
+    }
+}
+
 /// The RNG seed of a chain. The golden-ratio stride decorrelates chains
 /// while chain 0 keeps the bare seed, so a `chains == 1` run reproduces
 /// the historical single-chain stream bit-for-bit.
@@ -137,19 +176,48 @@ fn push_top(cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfi
 pub fn simulated_annealing<O>(
     space: &FusionSpace,
     start: FusionConfig,
-    mut objective: O,
+    objective: O,
     cfg: &SaConfig,
 ) -> SaResult
 where
     O: BatchObjective,
 {
+    simulated_annealing_observed(space, start, objective, cfg, &Registry::noop())
+}
+
+/// [`simulated_annealing`] with `autotuner.sa.*` metrics recorded into
+/// `registry`: candidate/accept/reject counts, per-batch objective
+/// latency and batch sizes, and the final best cost.
+///
+/// Instrumentation is read-only: the search trajectory and the returned
+/// [`SaResult`] are bit-identical whether or not the registry is enabled.
+pub fn simulated_annealing_observed<O>(
+    space: &FusionSpace,
+    start: FusionConfig,
+    mut objective: O,
+    cfg: &SaConfig,
+    registry: &Registry,
+) -> SaResult
+where
+    O: BatchObjective,
+{
+    let obs = if registry.is_enabled() {
+        SaObs::new(registry)
+    } else {
+        SaObs::noop()
+    };
     let chains = cfg.chains.max(1);
     let mut rngs: Vec<ChaCha8Rng> = (0..chains)
         .map(|c| ChaCha8Rng::seed_from_u64(chain_seed(cfg.seed, c)))
         .collect();
 
     // All chains share one evaluation of the common start config.
+    let timer = obs.batch_eval_ns.start_timer();
     let start_cost = objective.evaluate(std::slice::from_ref(&start))[0];
+    timer.stop();
+    obs.batches.inc();
+    obs.batch_size.observe(1);
+    obs.candidates.inc();
     let mut evals = 1;
     let mut top: Vec<(FusionConfig, f64)> = Vec::new();
     if start_cost.is_nan() {
@@ -175,7 +243,11 @@ where
         let cands: Vec<FusionConfig> = (0..batch_n)
             .map(|c| space.perturb(&current[c], &mut rngs[c], cfg.flips))
             .collect();
+        let timer = obs.batch_eval_ns.start_timer();
         let costs = objective.evaluate(&cands);
+        timer.stop();
+        obs.batches.inc();
+        obs.batch_size.observe(cands.len() as u64);
         for (c, cand) in cands.iter().enumerate() {
             let cost = costs[c];
             if cost.is_nan() {
@@ -183,6 +255,7 @@ where
             }
             evals += 1;
             steps_done += 1;
+            obs.candidates.inc();
             push_top(cand, cost, cfg.top_k, &mut top);
             if cost < best_cost {
                 best = cand.clone();
@@ -193,10 +266,14 @@ where
             if rel <= 0.0 || rngs[c].gen::<f64>() < (-rel / temp.max(1e-12)).exp() {
                 current[c] = cand.clone();
                 current_cost[c] = cost;
+                obs.accepts.inc();
+            } else {
+                obs.rejects.inc();
             }
         }
     }
 
+    obs.best_cost.set(best_cost);
     SaResult {
         best_config: best,
         best_cost,
@@ -384,6 +461,55 @@ mod tests {
         assert_eq!(a.best_config, b.best_config);
         assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
         assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn observed_annealing_records_and_matches_plain() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let objective = |c: &FusionConfig| (c.decisions.len() - c.num_fused()) as f64;
+        let cfg = SaConfig {
+            steps: 200,
+            seed: 5,
+            chains: 4,
+            ..Default::default()
+        };
+        let plain = simulated_annealing(&space, space.none(), objective, &cfg);
+        let registry = Registry::enabled();
+        let observed =
+            simulated_annealing_observed(&space, space.none(), objective, &cfg, &registry);
+
+        // Determinism contract: instrumentation never alters the search.
+        assert_eq!(plain.best_config, observed.best_config);
+        assert_eq!(plain.best_cost.to_bits(), observed.best_cost.to_bits());
+        assert_eq!(plain.evals, observed.evals);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("autotuner.sa.candidates"),
+            Some(observed.evals as u64)
+        );
+        // Every loop candidate is either accepted or rejected; the shared
+        // start evaluation is neither.
+        assert_eq!(
+            snap.counter("autotuner.sa.accepts").unwrap()
+                + snap.counter("autotuner.sa.rejects").unwrap(),
+            observed.evals as u64 - 1
+        );
+        let sizes = snap.histogram("autotuner.sa.batch_size").expect("batch sizes");
+        assert_eq!(
+            snap.counter("autotuner.sa.batches"),
+            Some(sizes.count)
+        );
+        assert_eq!(sizes.sum, observed.evals as u64);
+        assert_eq!(
+            snap.histogram("autotuner.sa.batch_eval_ns").map(|h| h.count),
+            Some(sizes.count)
+        );
+        assert_eq!(
+            snap.gauge("autotuner.sa.best_cost"),
+            Some(observed.best_cost)
+        );
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Benchmark: observability overhead on the hot predict path.
+//!
+//! The `tpu-obs` contract is "zero-cost when disabled, cheap when
+//! enabled": a no-op registry hands out handles that are a single branch
+//! per record, and an enabled registry uses relaxed atomics. This bench
+//! pins both claims on the hottest path we instrument — warm-cache
+//! `Predictor::predict_ns_refs`, where per-kernel work is a cache lookup
+//! and the instrumentation (call timer, miss histogram, four counter
+//! mirrors) is proportionally largest.
+//!
+//! Writes `BENCH_obs.json` at the repo root (skipped under
+//! `BENCH_SMOKE=1`, which also shrinks the work so CI can smoke-test the
+//! bench in seconds). Overhead is reported as the relative difference in
+//! warm-cache predict throughput between a no-op-observed and an
+//! enabled-observed predictor; the acceptance bar is < 2%.
+//!
+//! ```text
+//! cargo bench -p tpu-bench --bench obs_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache, Predictor};
+use tpu_obs::Registry;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Distinct elementwise kernels: enough shapes that the cache holds a
+/// realistic working set, cheap enough that the predictor path dominates.
+fn kernels(n: usize) -> Vec<Kernel> {
+    (0..n)
+        .map(|i| {
+            let rows = 32 + 8 * i;
+            let mut b = GraphBuilder::new("k");
+            let x = b.parameter("x", Shape::matrix(rows, 64), DType::F32);
+            let t = b.tanh(x);
+            let e = b.exp(t);
+            Kernel::new(b.finish(e))
+        })
+        .collect()
+}
+
+/// Seconds per warm-cache `predict_ns_refs` call over `iters` repeats.
+fn time_warm_predicts<M: CostModel>(predictor: &Predictor<M>, refs: &[&Kernel], iters: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let (preds, _) = predictor.predict_ns_refs(black_box(refs));
+        black_box(preds);
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn bench_obs_overhead(_c: &mut Criterion) {
+    let (n_kernels, iters) = if smoke() { (16, 50) } else { (64, 2_000) };
+    let ks = kernels(n_kernels);
+    let refs: Vec<&Kernel> = ks.iter().collect();
+    let model = || FnCostModel::new("bench", |k: &Kernel| Some(k.computation.num_nodes() as f64));
+
+    let noop = Predictor::with_cache(model(), Arc::new(PredictionCache::new()));
+    let registry = Registry::enabled();
+    let observed = Predictor::with_cache(model(), Arc::new(PredictionCache::new()))
+        .observed(&registry);
+
+    // Warm both caches and pin the determinism contract: identical
+    // predictions with instrumentation on and off.
+    let (base, _) = noop.predict_ns_refs(&refs);
+    let (obs, _) = observed.predict_ns_refs(&refs);
+    assert_eq!(base, obs, "instrumentation must not change predictions");
+
+    // Measure in short alternating slices (both variants see the same
+    // machine conditions within a few hundred microseconds of each other)
+    // and keep the minimum round: together these cancel drift, frequency
+    // ramps, and scheduler interference.
+    let slice = 10.min(iters);
+    let rounds = if smoke() { 2 } else { 5 };
+    let (mut noop_s, mut obs_s) = (f64::INFINITY, f64::INFINITY);
+    let slices = (iters / slice).max(1);
+    for _ in 0..rounds {
+        let (mut n, mut o) = (0.0, 0.0);
+        for i in 0..slices {
+            // `time_warm_predicts` already returns secs per call.
+            if i % 2 == 0 {
+                n += time_warm_predicts(&noop, &refs, slice);
+                o += time_warm_predicts(&observed, &refs, slice);
+            } else {
+                o += time_warm_predicts(&observed, &refs, slice);
+                n += time_warm_predicts(&noop, &refs, slice);
+            }
+        }
+        noop_s = noop_s.min(n / slices as f64);
+        obs_s = obs_s.min(o / slices as f64);
+    }
+    let overhead = obs_s / noop_s - 1.0;
+    let per_kernel_noop = noop_s / n_kernels as f64 * 1e9;
+    let per_kernel_obs = obs_s / n_kernels as f64 * 1e9;
+    println!(
+        "warm-cache predict ({n_kernels} kernels x {iters} iters, min of {rounds} rounds): \
+         noop {per_kernel_noop:.1} ns/kernel, observed {per_kernel_obs:.1} ns/kernel \
+         — overhead {:+.2}%",
+        overhead * 100.0
+    );
+
+    let snap = registry.snapshot();
+    let calls = snap
+        .histogram("core.engine.predict_ns")
+        .map_or(0, |h| h.count);
+    assert!(
+        calls >= (rounds * iters) as u64,
+        "enabled registry must have recorded every call: {calls}"
+    );
+
+    if !smoke() {
+        let json = format!(
+            "{{\n  \"obs_overhead\": {{\n    \"kernels\": {n_kernels},\n    \
+             \"iters_per_round\": {iters},\n    \"rounds\": {rounds},\n    \
+             \"noop_ns_per_kernel\": {per_kernel_noop:.2},\n    \
+             \"observed_ns_per_kernel\": {per_kernel_obs:.2},\n    \
+             \"relative_overhead\": {:.5},\n    \"acceptance_bar\": 0.02\n  }}\n}}\n",
+            overhead
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        std::fs::write(path, json).expect("write BENCH_obs.json");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

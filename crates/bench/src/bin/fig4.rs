@@ -17,13 +17,18 @@
 use rayon::prelude::*;
 use std::sync::Arc;
 use tpu_autotuner::{
-    autotune_hardware_only, autotune_with_cost_model, Budgets, StartMode, TunedConfig,
+    autotune_hardware_only_observed, autotune_with_cost_model_observed, Budgets, StartMode,
+    TunedConfig,
 };
-use tpu_bench::{corpus, fusion_train_val, print_table, Scale};
+use tpu_bench::{
+    corpus, fusion_train_val, print_table, registry_for_report, report_path_from_args,
+    write_report, Scale,
+};
 use tpu_dataset::build_fusion_dataset;
 use tpu_fusion::{apply_fusion, default_space_and_config};
 use tpu_hlo::Program;
-use tpu_learned_cost::{train, GnnModel, PredictionCache};
+use tpu_learned_cost::{train_observed, GnnModel, PredictionCache};
+use tpu_obs::RunReport;
 use tpu_sim::{TpuConfig, TpuDevice};
 
 /// Programs autotuned in Figure 4: "a set of programs that gain
@@ -60,6 +65,8 @@ fn best_speedup(program: &Program, device: &TpuDevice, runs: &[TunedConfig]) -> 
 
 fn main() {
     let scale = Scale::from_args();
+    let report_path = report_path_from_args();
+    let registry = registry_for_report(&report_path);
     let mode = if std::env::args().any(|a| a == "random") {
         StartMode::Random
     } else {
@@ -82,7 +89,7 @@ fn main() {
     let (train_prep, val_prep) = fusion_train_val(&dataset, &split, train_cap, val_cap);
     let mut gnn = GnnModel::new(scale.gnn_cfg());
     let t0 = std::time::Instant::now();
-    let rep = train(&mut gnn, &train_prep, &val_prep, &scale.train_cfg());
+    let rep = train_observed(&mut gnn, &train_prep, &val_prep, &scale.train_cfg(), &registry);
     println!(
         "learned model trained: best val MAPE {:.1}% [{:?}]",
         rep.best_val,
@@ -122,15 +129,17 @@ fn main() {
         .par_iter()
         .map(|&pi| {
             let program = &corpus.entries[pi].program;
-            let device = TpuDevice::with_config(machine.clone(), 1000 + pi as u64);
+            let device =
+                TpuDevice::with_config(machine.clone(), 1000 + pi as u64).observed(&registry);
 
             // Best known: one long hardware-only run.
-            let best_known_run = autotune_hardware_only(
+            let best_known_run = autotune_hardware_only_observed(
                 program,
                 &device,
                 StartMode::Default,
                 budgets.best_known_ns,
                 999,
+                &registry,
             );
 
             // One prediction cache per program, shared across repetitions:
@@ -140,14 +149,15 @@ fn main() {
             let mut model_runs = Vec::new();
             for rep_i in 0..reps {
                 let seed = rep_i as u64;
-                hw_runs.push(autotune_hardware_only(
+                hw_runs.push(autotune_hardware_only_observed(
                     program,
                     &device,
                     mode,
                     budgets.hardware_ns,
                     seed,
+                    &registry,
                 ));
-                model_runs.push(autotune_with_cost_model(
+                model_runs.push(autotune_with_cost_model_observed(
                     program,
                     &device,
                     &gnn,
@@ -155,6 +165,7 @@ fn main() {
                     mode,
                     &budgets,
                     seed,
+                    &registry,
                 ));
             }
             ProgramRow {
@@ -229,4 +240,13 @@ fn main() {
         m_model,
         if m_best >= m_model - 0.01 { "OK" } else { "MISS" }
     );
+
+    if let Some(path) = report_path {
+        let report = RunReport::new("fig4", &registry)
+            .with_context("scale", format!("{scale:?}"))
+            .with_context("start_mode", format!("{mode:?}"))
+            .with_context("programs", rows.len())
+            .with_context("reps", reps);
+        write_report(&report, &path);
+    }
 }

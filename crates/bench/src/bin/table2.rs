@@ -8,13 +8,19 @@
 //! cargo run -p tpu-bench --release --bin table2 [-- --quick]
 //! ```
 
+use std::sync::Arc;
 use tpu_bench::{
     corpus, fusion_samples, fusion_train_val, predict_ns_prepared, print_table,
-    CalibratedAnalytical, Scale,
+    registry_for_report, report_path_from_args, write_report, CalibratedAnalytical, Scale,
 };
 use tpu_dataset::{build_fusion_dataset, Corpus, FusionDataset, KernelExample, Split};
+use tpu_hlo::Kernel;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
-use tpu_learned_cost::{prepare, train, GnnModel, KernelModel, LstmModel, Prepared};
+use tpu_learned_cost::{
+    prepare, train_observed, GnnModel, KernelModel, LstmModel, PredictionCache, Predictor,
+    Prepared,
+};
+use tpu_obs::{Registry, RunReport};
 use tpu_sim::TpuConfig;
 
 /// Per-model predictions for one program's evaluation kernels.
@@ -103,6 +109,7 @@ fn run_split(
     dataset: &FusionDataset,
     split: &Split,
     split_name: &str,
+    registry: &Registry,
 ) -> SplitResult {
     let machine = TpuConfig::default();
     let (train_ex, val_ex, test_ex) = dataset.split(split);
@@ -134,7 +141,7 @@ fn run_split(
             let mut cfg = scale.gnn_cfg();
             cfg.seed = seed;
             let mut m = GnnModel::new(cfg);
-            let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+            let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, registry);
             println!(
                 "[{split_name}] gnn seed {seed}: val MAPE {:.1}% (epoch {})",
                 rep.best_val, rep.best_epoch
@@ -152,7 +159,7 @@ fn run_split(
             let mut cfg = scale.lstm_cfg();
             cfg.seed = seed;
             let mut m = LstmModel::new(cfg);
-            let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+            let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, registry);
             println!(
                 "[{split_name}] lstm seed {seed}: val MAPE {:.1}% (epoch {})",
                 rep.best_val, rep.best_epoch
@@ -169,7 +176,12 @@ fn run_split(
 
     // Evaluate per test program. Kernels the analytical model cannot score
     // (no tile-size options — ~1% in the paper) are excluded from the
-    // comparison, per footnote 3.
+    // comparison, per footnote 3. Scoring goes through an observed
+    // [`Predictor`] session so a `--report` run captures the cache and
+    // model-eval metrics of the serving path (predictions are identical
+    // to calling the analytical model per kernel).
+    let predictor =
+        Predictor::with_cache(&analytical, Arc::new(PredictionCache::new())).observed(registry);
     let mut evals = Vec::new();
     for &pi in &split.test {
         let name = corpus.entries[pi].program.name.clone();
@@ -178,9 +190,12 @@ fn run_split(
             .copied()
             .filter(|ex| ex.program_idx == pi)
             .collect();
+        let kernel_refs: Vec<&Kernel> = program_ex.iter().map(|ex| &ex.kernel).collect();
+        let (analytical_preds, _) = predictor.predict_ns_refs(&kernel_refs);
         let scored: Vec<(&KernelExample, f64)> = program_ex
             .iter()
-            .filter_map(|ex| analytical.predict_ns(&ex.kernel).map(|a| (*ex, a)))
+            .zip(&analytical_preds)
+            .filter_map(|(ex, pred)| pred.map(|a| (*ex, a)))
             .collect();
         if scored.len() < 2 {
             continue;
@@ -198,11 +213,14 @@ fn run_split(
         });
     }
     let _ = (gnn.model_name(), lstm.model_name());
+    predictor.record_cache_stats();
     SplitResult { evals }
 }
 
 fn main() {
     let scale = Scale::from_args();
+    let report_path = report_path_from_args();
+    let registry = registry_for_report(&report_path);
     println!("Table 2 reproduction (scale: {scale:?})");
     let corpus = corpus(scale);
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
@@ -210,7 +228,7 @@ fn main() {
 
     // --- Random split (Table 2 proper) ---
     let random = corpus.random_split(0);
-    let result = run_split(scale, &corpus, &dataset, &random, "random");
+    let result = run_split(scale, &corpus, &dataset, &random, "random", &registry);
     let (rows, med_big) = result.metric_rows(|t| t >= 5_000.0);
     print_table(
         "Table 2: fusion task, >=5us kernels, random split",
@@ -245,7 +263,7 @@ fn main() {
 
     // --- Manual split (in-text "harder task") ---
     let manual = corpus.manual_split();
-    let manual_result = run_split(scale, &corpus, &dataset, &manual, "manual");
+    let manual_result = run_split(scale, &corpus, &dataset, &manual, "manual", &registry);
     let (rows_manual, med_manual) = manual_result.metric_rows(|t| t >= 5_000.0);
     print_table(
         "In-text: fusion task, >=5us kernels, manual split",
@@ -282,4 +300,11 @@ fn main() {
         if med_manual[0] >= med_big[0] { "OK" } else { "MISS" }
     );
     println!("  <5us medians: ours {:.1} lstm {:.1} analytical {:.1}", med_small[0], med_small[1], med_small[2]);
+
+    if let Some(path) = report_path {
+        let report = RunReport::new("table2", &registry)
+            .with_context("scale", format!("{scale:?}"))
+            .with_context("splits", "random,manual");
+        write_report(&report, &path);
+    }
 }

@@ -11,14 +11,18 @@
 //! ```
 
 use std::sync::Arc;
-use tpu_autotuner::{autotune_with_cost_model, speedup_over_default, Budgets, StartMode};
-use tpu_bench::{corpus, fusion_train_val, predict_ns_prepared, print_table, Scale};
+use tpu_autotuner::{autotune_with_cost_model_observed, speedup_over_default, Budgets, StartMode};
+use tpu_bench::{
+    corpus, fusion_train_val, predict_ns_prepared, print_table, registry_for_report,
+    report_path_from_args, write_report, Scale,
+};
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    prepare, train, GnnConfig, GnnModel, KernelModel, LstmModel, PredictionCache, Prepared,
-    Reduction, TaskLoss, TrainConfig,
+    prepare, train_observed, GnnConfig, GnnModel, KernelModel, LstmModel, PredictionCache,
+    Prepared, Reduction, TaskLoss, TrainConfig,
 };
+use tpu_obs::RunReport;
 use tpu_sim::TpuDevice;
 
 fn test_medians<M: KernelModel>(
@@ -46,6 +50,8 @@ fn test_medians<M: KernelModel>(
 
 fn main() {
     let scale = Scale::from_args();
+    let report_path = report_path_from_args();
+    let registry = registry_for_report(&report_path);
     println!("Fusion-task hyperparameter sweep (scale: {scale:?})");
     let corpus = corpus(scale);
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
@@ -144,7 +150,7 @@ fn main() {
     for (name, gcfg) in variants {
         let t0 = std::time::Instant::now();
         let mut m = GnnModel::new(gcfg);
-        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, &registry);
         let (test_mape, test_tau) = test_medians(&m, &by_program);
         println!("{name}: done in {:?}", t0.elapsed());
         rows.push(vec![
@@ -160,7 +166,7 @@ fn main() {
     {
         let t0 = std::time::Instant::now();
         let mut m = LstmModel::new(scale.lstm_cfg());
-        let rep = train(&mut m, &train_prep, &val_prep, &tcfg);
+        let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, &registry);
         let (test_mape, test_tau) = test_medians(&m, &by_program);
         println!("lstm h48: done in {:?}", t0.elapsed());
         rows.push(vec![
@@ -203,8 +209,8 @@ fn main() {
         chains: 4,
     };
     let cache = Arc::new(PredictionCache::new());
-    let device = TpuDevice::new(42);
-    let tuned = autotune_with_cost_model(
+    let device = TpuDevice::new(42).observed(&registry);
+    let tuned = autotune_with_cost_model_observed(
         target,
         &device,
         &gnn,
@@ -212,6 +218,7 @@ fn main() {
         StartMode::Default,
         &budgets,
         0,
+        &registry,
     );
     println!(
         "tuned: speedup {:.3}x over default | {} hw evals | {} fresh model evals in {} packed forwards | {} cache hits",
@@ -221,4 +228,12 @@ fn main() {
         tuned.model_batches,
         tuned.cache_hits,
     );
+
+    if let Some(path) = report_path {
+        let report = RunReport::new("tune", &registry)
+            .with_context("scale", format!("{scale:?}"))
+            .with_context("target_program", &target.name)
+            .with_context("model_steps", budgets.model_steps);
+        write_report(&report, &path);
+    }
 }

@@ -137,6 +137,41 @@ pub fn corpus(scale: Scale) -> Corpus {
     Corpus::build(scale.corpus())
 }
 
+/// Path following a `--report <path>` flag in the process args, if any.
+///
+/// Experiment binaries that support it create an enabled
+/// [`tpu_obs::Registry`] when the flag is present (and a no-op one
+/// otherwise — results are bit-identical either way) and write a
+/// [`tpu_obs::RunReport`] to the path on exit.
+pub fn report_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--report" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// The registry for an optional `--report` run: enabled iff a report will
+/// be written.
+pub fn registry_for_report(path: &Option<std::path::PathBuf>) -> tpu_obs::Registry {
+    if path.is_some() {
+        tpu_obs::Registry::enabled()
+    } else {
+        tpu_obs::Registry::noop()
+    }
+}
+
+/// Write `report` to `path`, logging where it went (shared exit path of
+/// the `--report`-aware binaries).
+pub fn write_report(report: &tpu_obs::RunReport, path: &std::path::Path) {
+    match report.write(path) {
+        Ok(()) => println!("\nrun report written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write run report to {}: {e}", path.display()),
+    }
+}
+
 /// A calibrated analytical model bundled as a kernel-cost closure.
 pub struct CalibratedAnalytical {
     model: AnalyticalModel,

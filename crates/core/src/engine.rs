@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tpu_hlo::{canonical_kernel_hash, Kernel};
 use tpu_nn::Tape;
+use tpu_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Number of independent shards; bounds lock contention under parallel
 /// lookups without a concurrent-map dependency.
@@ -204,6 +205,13 @@ impl PredictionCache {
             entries: self.len(),
         }
     }
+
+    /// Evictions so far — one atomic read, unlike [`PredictionCache::stats`]
+    /// whose entry count locks every shard. Used by the instrumented
+    /// predict path to attribute evictions without touching shard locks.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
 }
 
 /// Serving counters for a [`Predictor`]: per call or cumulative.
@@ -264,6 +272,50 @@ pub struct Predictor<M> {
     hits: AtomicU64,
     evals: AtomicU64,
     batches: AtomicU64,
+    obs: EngineObs,
+}
+
+/// `tpu-obs` handles for the serving path, resolved once per session so
+/// the per-call cost is a few relaxed atomic ops (and nothing at all on
+/// the default no-op registry). Metric names live under `core.engine.*`
+/// (per-session serving counters and latencies) and `core.cache.*`
+/// (gauges mirroring the shared cache's own counters).
+struct EngineObs {
+    enabled: bool,
+    kernels: Counter,
+    cache_hits: Counter,
+    model_evals: Counter,
+    model_batches: Counter,
+    cache_evictions: Counter,
+    miss_batch_size: Histogram,
+    predict_ns: Histogram,
+    forward_ns: Histogram,
+    cache_entries: Gauge,
+    cache_lookups: Gauge,
+    cache_hit_rate: Gauge,
+}
+
+impl EngineObs {
+    fn new(registry: &Registry) -> EngineObs {
+        EngineObs {
+            enabled: registry.is_enabled(),
+            kernels: registry.counter("core.engine.kernels"),
+            cache_hits: registry.counter("core.engine.cache_hits"),
+            model_evals: registry.counter("core.engine.model_evals"),
+            model_batches: registry.counter("core.engine.model_batches"),
+            cache_evictions: registry.counter("core.engine.cache_evictions"),
+            miss_batch_size: registry.histogram("core.engine.miss_batch_size"),
+            predict_ns: registry.histogram("core.engine.predict_ns"),
+            forward_ns: registry.histogram("core.engine.forward_ns"),
+            cache_entries: registry.gauge("core.cache.entries"),
+            cache_lookups: registry.gauge("core.cache.lookups"),
+            cache_hit_rate: registry.gauge("core.cache.hit_rate"),
+        }
+    }
+
+    fn noop() -> EngineObs {
+        EngineObs::new(&Registry::noop())
+    }
 }
 
 impl<M: CostModel> Predictor<M> {
@@ -283,7 +335,17 @@ impl<M: CostModel> Predictor<M> {
             hits: AtomicU64::new(0),
             evals: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            obs: EngineObs::noop(),
         }
+    }
+
+    /// Attach an observability registry (builder-style): serving counters,
+    /// miss-batch sizes, and per-call / per-forward latencies are recorded
+    /// under `core.engine.*`. With the default no-op registry this is a
+    /// no-op; instrumentation never changes predictions.
+    pub fn observed(mut self, registry: &Registry) -> Predictor<M> {
+        self.obs = EngineObs::new(registry);
+        self
     }
 
     /// A session that never caches (zero-capacity cache): every distinct
@@ -308,6 +370,20 @@ impl<M: CostModel> Predictor<M> {
         self.cache.stats()
     }
 
+    /// Export the shared cache's counters as `core.cache.*` gauges.
+    /// Walks every shard for the entry count, so call this at phase
+    /// boundaries (end of a run, before writing a report), not per
+    /// predict. No-op without an attached registry.
+    pub fn record_cache_stats(&self) {
+        if !self.obs.enabled {
+            return;
+        }
+        let s = self.cache.stats();
+        self.obs.cache_entries.set(s.entries as f64);
+        self.obs.cache_lookups.set(s.lookups() as f64);
+        self.obs.cache_hit_rate.set(s.hit_rate());
+    }
+
     /// Cumulative serving counters for this session.
     pub fn stats(&self) -> PredictStats {
         PredictStats {
@@ -327,6 +403,7 @@ impl<M: CostModel> Predictor<M> {
     /// Like [`Predictor::predict_ns`] but over references, returning this
     /// call's [`PredictStats`] alongside the predictions.
     pub fn predict_ns_refs(&self, kernels: &[&Kernel]) -> (Vec<Option<f64>>, PredictStats) {
+        let _call_timer = self.obs.predict_ns.start_timer();
         let hashes: Vec<u64> = kernels.iter().map(|k| canonical_kernel_hash(k)).collect();
         // `Some(cached)` = resolved (the cached value may itself be `None`
         // for a kernel the backend cannot score); `None` = cache miss.
@@ -345,9 +422,17 @@ impl<M: CostModel> Predictor<M> {
 
         let mut model_batches = 0u64;
         if !pending.is_empty() {
+            let evictions_before = if self.obs.enabled {
+                self.cache.eviction_count()
+            } else {
+                0
+            };
             let miss_kernels: Vec<Kernel> =
                 pending.iter().map(|&i| Kernel::clone(kernels[i])).collect();
+            let forward_timer = self.obs.forward_ns.start_timer();
             let fresh = self.model.predict_batch_ns(&miss_kernels);
+            forward_timer.stop();
+            self.obs.miss_batch_size.observe(pending.len() as u64);
             model_batches = 1;
             let mut by_hash: HashMap<u64, Option<f64>> = HashMap::with_capacity(pending.len());
             for (&i, ns) in pending.iter().zip(fresh) {
@@ -359,6 +444,11 @@ impl<M: CostModel> Predictor<M> {
                 if r.is_none() {
                     *r = by_hash.get(&hashes[i]).copied();
                 }
+            }
+            if self.obs.enabled {
+                self.obs
+                    .cache_evictions
+                    .add(self.cache.eviction_count() - evictions_before);
             }
         }
 
@@ -372,6 +462,10 @@ impl<M: CostModel> Predictor<M> {
         self.hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
         self.evals.fetch_add(stats.model_evals, Ordering::Relaxed);
         self.batches.fetch_add(stats.model_batches, Ordering::Relaxed);
+        self.obs.kernels.add(stats.kernels);
+        self.obs.cache_hits.add(stats.cache_hits);
+        self.obs.model_evals.add(stats.model_evals);
+        self.obs.model_batches.add(stats.model_batches);
 
         let out = resolved
             .into_iter()
@@ -599,6 +693,52 @@ mod tests {
         assert!(p.predict_ns(&[]).is_empty());
         assert_eq!(p.stats().model_batches, 0);
         assert!(forward_log_ns(&model, &[]).is_empty());
+    }
+
+    #[test]
+    fn observed_predictor_mirrors_stats_into_registry() {
+        let registry = Registry::enabled();
+        let model = GnnModel::new(GnnConfig::default());
+        let p = Predictor::new(&model).observed(&registry);
+        let kernels: Vec<Kernel> = (1..=4).map(|i| kernel(i * 16)).collect();
+        let cold = p.predict_ns(&kernels);
+        let warm = p.predict_ns(&kernels);
+        assert_eq!(cold, warm, "instrumentation must not perturb predictions");
+        p.record_cache_stats();
+
+        let s = registry.snapshot();
+        let stats = p.stats();
+        assert_eq!(s.counter("core.engine.kernels"), Some(stats.kernels));
+        assert_eq!(s.counter("core.engine.cache_hits"), Some(stats.cache_hits));
+        assert_eq!(s.counter("core.engine.model_evals"), Some(stats.model_evals));
+        assert_eq!(s.counter("core.engine.model_batches"), Some(stats.model_batches));
+        let miss = s.histogram("core.engine.miss_batch_size").unwrap();
+        assert_eq!((miss.count, miss.sum), (1, 4), "one miss-batch of 4 kernels");
+        let calls = s.histogram("core.engine.predict_ns").unwrap();
+        assert_eq!(calls.count, 2);
+        let fwd = s.histogram("core.engine.forward_ns").unwrap();
+        assert_eq!(fwd.count, 1, "warm call must not time a forward");
+        assert_eq!(s.gauge("core.cache.entries"), Some(4.0));
+        assert_eq!(s.gauge("core.cache.hit_rate"), Some(0.5));
+    }
+
+    #[test]
+    fn observed_predictor_counts_evictions() {
+        let registry = Registry::enabled();
+        let inner = FnCostModel::new("probe", |k: &Kernel| {
+            Some(k.computation.num_nodes() as f64)
+        });
+        // 16 shards x 1 entry: inserting many distinct kernels must evict.
+        let cache = Arc::new(PredictionCache::with_capacity(SHARDS));
+        let p = Predictor::with_cache(inner, cache).observed(&registry);
+        let kernels: Vec<Kernel> = (1..=64).map(kernel).collect();
+        p.predict_ns(&kernels);
+        let observed = registry
+            .snapshot()
+            .counter("core.engine.cache_evictions")
+            .unwrap();
+        assert_eq!(observed, p.cache_stats().evictions);
+        assert!(observed > 0);
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use engine::{
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
 pub use train::{
-    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_step,
-    validation_metric, HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
+    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_observed,
+    train_step, validation_metric, HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
 };

@@ -16,6 +16,7 @@ use tpu_nn::{
     clip_grad_norm, grouped_pairwise_rank_loss, mse_loss, Adam, GradBuffer, Optimizer, ParamStore,
     RankPhi, Tape, Tensor, Var,
 };
+use tpu_obs::{Counter, Gauge, Histogram, Registry, Series};
 
 /// Training objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +93,58 @@ impl TrainReport {
             out.push_str(&format!("{i},{l},{v}\n"));
         }
         out
+    }
+}
+
+/// `tpu-obs` handles for the training loop (`core.train.*`), resolved
+/// once per [`train_observed`] call. The no-op variant skips name
+/// registration entirely so the uninstrumented [`train_step`] wrapper
+/// stays free of per-step overhead.
+struct TrainObs {
+    epochs: Counter,
+    steps: Counter,
+    steps_skipped: Counter,
+    epoch_ns: Histogram,
+    step_ns: Histogram,
+    grad_reduce_ns: Histogram,
+    val_ns: Histogram,
+    epoch_loss: Series,
+    val_metric: Series,
+    best_val: Gauge,
+    best_epoch: Gauge,
+}
+
+impl TrainObs {
+    fn new(registry: &Registry) -> TrainObs {
+        TrainObs {
+            epochs: registry.counter("core.train.epochs"),
+            steps: registry.counter("core.train.steps"),
+            steps_skipped: registry.counter("core.train.steps_skipped"),
+            epoch_ns: registry.histogram("core.train.epoch_ns"),
+            step_ns: registry.histogram("core.train.step_ns"),
+            grad_reduce_ns: registry.histogram("core.train.grad_reduce_ns"),
+            val_ns: registry.histogram("core.train.val_ns"),
+            epoch_loss: registry.series("core.train.epoch_loss"),
+            val_metric: registry.series("core.train.val_metric"),
+            best_val: registry.gauge("core.train.best_val"),
+            best_epoch: registry.gauge("core.train.best_epoch"),
+        }
+    }
+
+    fn noop() -> TrainObs {
+        TrainObs {
+            epochs: Counter::noop(),
+            steps: Counter::noop(),
+            steps_skipped: Counter::noop(),
+            epoch_ns: Histogram::noop(),
+            step_ns: Histogram::noop(),
+            grad_reduce_ns: Histogram::noop(),
+            val_ns: Histogram::noop(),
+            epoch_loss: Series::noop(),
+            val_metric: Series::noop(),
+            best_val: Gauge::noop(),
+            best_epoch: Gauge::noop(),
+        }
     }
 }
 
@@ -344,6 +397,18 @@ pub fn train_step<M: KernelModel>(
     opt: &mut Adam,
     tapes: &mut Vec<Tape>,
 ) -> Option<f64> {
+    train_step_inner(model, train_set, idxs, cfg, opt, tapes, &TrainObs::noop())
+}
+
+fn train_step_inner<M: KernelModel>(
+    model: &mut M,
+    train_set: &[Prepared],
+    idxs: &[usize],
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    tapes: &mut Vec<Tape>,
+    obs: &TrainObs,
+) -> Option<f64> {
     let shard_idxs = shard_batch(train_set, idxs, cfg.loss, cfg.shards);
     let total_n = idxs.len();
     let is_rank = matches!(cfg.loss, TaskLoss::TileRank(_));
@@ -390,6 +455,8 @@ pub fn train_step<M: KernelModel>(
 
     // Fixed-order reduce: `results` is in shard order no matter which
     // thread ran which shard.
+    // Records on drop, covering the reduce + clip + optimizer update.
+    let _reduce_timer = obs.grad_reduce_ns.start_timer();
     model.params_mut().zero_grads();
     let mut loss_sum = 0.0f64;
     let mut any = false;
@@ -417,6 +484,28 @@ pub fn train<M: KernelModel>(
     val_set: &[Prepared],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    train_observed(model, train_set, val_set, cfg, &Registry::noop())
+}
+
+/// [`train`] with `core.train.*` metrics recorded into `registry`:
+/// per-step and per-epoch wall time, grad-reduce latency, the loss and
+/// validation trajectories as series, and the best-epoch outcome.
+///
+/// Instrumentation is read-only — with a no-op registry this **is**
+/// [`train`], and the returned report and final weights are bit-identical
+/// whether or not the registry is enabled.
+pub fn train_observed<M: KernelModel>(
+    model: &mut M,
+    train_set: &[Prepared],
+    val_set: &[Prepared],
+    cfg: &TrainConfig,
+    registry: &Registry,
+) -> TrainReport {
+    let obs = if registry.is_enabled() {
+        TrainObs::new(registry)
+    } else {
+        TrainObs::noop()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut report = TrainReport {
@@ -430,17 +519,29 @@ pub fn train<M: KernelModel>(
     let mut tapes: Vec<Tape> = Vec::new();
 
     for epoch in 0..cfg.epochs {
+        let epoch_timer = obs.epoch_ns.start_timer();
         let mut batches = batch_indices(train_set, cfg, &mut rng);
         batches.truncate(cfg.max_batches_per_epoch);
         let mut losses = Vec::new();
         for idxs in &batches {
-            if let Some(l) = train_step(model, train_set, idxs, cfg, &mut opt, &mut tapes) {
+            let step_timer = obs.step_ns.start_timer();
+            let step = train_step_inner(model, train_set, idxs, cfg, &mut opt, &mut tapes, &obs);
+            step_timer.stop();
+            if let Some(l) = step {
                 losses.push(l);
+                obs.steps.inc();
+            } else {
+                obs.steps_skipped.inc();
             }
         }
-        report.train_loss.push(mean(&losses));
+        let epoch_loss = mean(&losses);
+        report.train_loss.push(epoch_loss);
+        obs.epoch_loss.push(epoch_loss);
 
+        let val_timer = obs.val_ns.start_timer();
         let vm = validation_metric(model, val_set, cfg.loss);
+        val_timer.stop();
+        obs.val_metric.push(vm);
         report.val_metric.push(vm);
         let improved = report.best_val.is_nan()
             || (higher_better && vm > report.best_val)
@@ -450,7 +551,11 @@ pub fn train<M: KernelModel>(
             report.best_epoch = epoch;
             best_weights = Some(model.params().to_json());
         }
+        epoch_timer.stop();
+        obs.epochs.inc();
     }
+    obs.best_val.set(report.best_val);
+    obs.best_epoch.set(report.best_epoch as f64);
 
     if let Some(w) = best_weights {
         if let Ok(store) = ParamStore::from_json(&w) {
@@ -712,6 +817,99 @@ mod tests {
         let a = model.predict_log_ns(&k.clone().with_tile(TileSize(vec![128, 64])));
         let b = model.predict_log_ns(&k.clone().with_tile(TileSize(vec![1024, 8])));
         assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+    use tpu_sim::{kernel_time_ns, TpuConfig};
+
+    fn tiny_dataset() -> (Vec<Prepared>, Vec<Prepared>) {
+        let cfg = TpuConfig::default();
+        let mut samples = Vec::new();
+        for &(r, c) in &[(64usize, 128usize), (256, 256), (512, 512), (1024, 1024)] {
+            let mut b = GraphBuilder::new("k");
+            let x = b.parameter("x", Shape::matrix(r, c), DType::F32);
+            let t = b.tanh(x);
+            let k = Kernel::new(b.finish(t));
+            let t_ns = kernel_time_ns(&k, &cfg);
+            samples.push(Sample::new(k, t_ns));
+        }
+        let prepared = prepare(&samples);
+        (prepared[..3].to_vec(), prepared[3..].to_vec())
+    }
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn train_observed_records_trajectory_and_counts() {
+        let (train_set, val_set) = tiny_dataset();
+        let mut model = GnnModel::new(GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        });
+        let registry = Registry::enabled();
+        let cfg = tiny_cfg();
+        let report = train_observed(&mut model, &train_set, &val_set, &cfg, &registry);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.train.epochs"), Some(3));
+        // 3 samples in batches of 2 → 2 batches per epoch × 3 epochs.
+        assert_eq!(snap.counter("core.train.steps"), Some(6));
+        assert_eq!(snap.counter("core.train.steps_skipped"), Some(0));
+        let steps = snap.histogram("core.train.step_ns").expect("step histogram");
+        assert_eq!(steps.count, 6);
+        let epochs = snap.histogram("core.train.epoch_ns").expect("epoch histogram");
+        assert_eq!(epochs.count, 3);
+        assert_eq!(
+            snap.histogram("core.train.grad_reduce_ns").map(|h| h.count),
+            Some(6)
+        );
+        assert_eq!(snap.histogram("core.train.val_ns").map(|h| h.count), Some(3));
+        assert_eq!(snap.series("core.train.epoch_loss"), Some(&report.train_loss[..]));
+        assert_eq!(snap.series("core.train.val_metric"), Some(&report.val_metric[..]));
+        assert_eq!(snap.gauge("core.train.best_val"), Some(report.best_val));
+        assert_eq!(
+            snap.gauge("core.train.best_epoch"),
+            Some(report.best_epoch as f64)
+        );
+    }
+
+    #[test]
+    fn observed_training_is_bit_identical_to_plain() {
+        let (train_set, val_set) = tiny_dataset();
+        let gcfg = GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        };
+        let cfg = tiny_cfg();
+
+        let mut plain = GnnModel::new(gcfg.clone());
+        let plain_report = train(&mut plain, &train_set, &val_set, &cfg);
+
+        let mut observed = GnnModel::new(gcfg);
+        let registry = Registry::enabled();
+        let obs_report = train_observed(&mut observed, &train_set, &val_set, &cfg, &registry);
+
+        assert_eq!(plain_report.train_loss, obs_report.train_loss);
+        assert_eq!(
+            plain_report.val_metric.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            obs_report.val_metric.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(plain.params().to_json(), observed.params().to_json());
     }
 }
 

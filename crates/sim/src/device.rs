@@ -6,6 +6,40 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::{Cell, RefCell};
 use tpu_hlo::{FusedProgram, Kernel};
+use tpu_obs::{Counter, Gauge, Histogram, Registry};
+
+/// `tpu-obs` handles for the device-time meter (`sim.device.*`).
+///
+/// All handles default to no-ops; [`TpuDevice::observed`] swaps in live
+/// ones. The histogram records **simulated** nanoseconds (the metered
+/// device time), not wall time.
+#[derive(Debug)]
+struct DeviceObs {
+    kernel_execs: Counter,
+    eval_overheads: Counter,
+    exec_ns: Histogram,
+    time_used_ns: Gauge,
+}
+
+impl DeviceObs {
+    fn noop() -> DeviceObs {
+        DeviceObs {
+            kernel_execs: Counter::noop(),
+            eval_overheads: Counter::noop(),
+            exec_ns: Histogram::noop(),
+            time_used_ns: Gauge::noop(),
+        }
+    }
+
+    fn new(registry: &Registry) -> DeviceObs {
+        DeviceObs {
+            kernel_execs: registry.counter("sim.device.kernel_execs"),
+            eval_overheads: registry.counter("sim.device.eval_overheads"),
+            exec_ns: registry.histogram("sim.device.exec_ns"),
+            time_used_ns: registry.gauge("sim.device.time_used_ns"),
+        }
+    }
+}
 
 /// A simulated TPU device.
 ///
@@ -40,6 +74,7 @@ pub struct TpuDevice {
     cfg: TpuConfig,
     rng: RefCell<ChaCha8Rng>,
     used_ns: Cell<f64>,
+    obs: DeviceObs,
 }
 
 impl TpuDevice {
@@ -55,7 +90,18 @@ impl TpuDevice {
             cfg,
             rng: RefCell::new(ChaCha8Rng::seed_from_u64(seed)),
             used_ns: Cell::new(0.0),
+            obs: DeviceObs::noop(),
         }
+    }
+
+    /// Record `sim.device.*` metrics into `registry`: kernel executions
+    /// and eval overheads as counters, per-execution **simulated** ns as a
+    /// histogram, and the running device-time meter as a gauge.
+    /// Instrumentation never feeds back into timing or noise, so observed
+    /// and unobserved devices produce bit-identical measurements.
+    pub fn observed(mut self, registry: &Registry) -> TpuDevice {
+        self.obs = DeviceObs::new(registry);
+        self
     }
 
     /// The device configuration.
@@ -72,6 +118,7 @@ impl TpuDevice {
     /// Reset the device-time meter (e.g. between autotuning runs).
     pub fn reset_time_used(&self) {
         self.used_ns.set(0.0);
+        self.obs.time_used_ns.set(0.0);
     }
 
     /// Charge one configuration-evaluation overhead (compile + load)
@@ -79,6 +126,8 @@ impl TpuDevice {
     pub fn charge_eval_overhead(&self) -> f64 {
         self.used_ns
             .set(self.used_ns.get() + self.cfg.eval_overhead_ns);
+        self.obs.eval_overheads.inc();
+        self.obs.time_used_ns.set(self.used_ns.get());
         self.cfg.eval_overhead_ns
     }
 
@@ -97,6 +146,9 @@ impl TpuDevice {
     pub fn execute_kernel(&self, k: &Kernel) -> f64 {
         let t = kernel_time_ns(k, &self.cfg) * self.noise();
         self.used_ns.set(self.used_ns.get() + t);
+        self.obs.kernel_execs.inc();
+        self.obs.exec_ns.observe(t as u64);
+        self.obs.time_used_ns.set(self.used_ns.get());
         t
     }
 
@@ -203,5 +255,40 @@ mod tests {
         let a = TpuDevice::new(99).execute_kernel(&k);
         let b = TpuDevice::new(99).execute_kernel(&k);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_device_meters_into_registry() {
+        let registry = Registry::enabled();
+        let d = TpuDevice::new(3).observed(&registry);
+        let k = kernel();
+        let t1 = d.execute_kernel(&k);
+        let t2 = d.execute_kernel(&k);
+        let overhead = d.charge_eval_overhead();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.device.kernel_execs"), Some(2));
+        assert_eq!(snap.counter("sim.device.eval_overheads"), Some(1));
+        let h = snap.histogram("sim.device.exec_ns").expect("exec histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, t1 as u64 + t2 as u64);
+        let used = snap.gauge("sim.device.time_used_ns").expect("gauge");
+        assert!((used - (t1 + t2 + overhead)).abs() < 1e-6);
+        assert_eq!(used, d.device_time_used());
+
+        d.reset_time_used();
+        assert_eq!(
+            registry.snapshot().gauge("sim.device.time_used_ns"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn observed_device_is_bit_identical_to_plain() {
+        let k = kernel();
+        let plain = TpuDevice::new(99).execute_kernel(&k);
+        let registry = Registry::enabled();
+        let observed = TpuDevice::new(99).observed(&registry).execute_kernel(&k);
+        assert_eq!(plain.to_bits(), observed.to_bits());
     }
 }

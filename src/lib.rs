@@ -13,6 +13,7 @@
 //! - [`fusion`] — the operator-fusion pass and search space,
 //! - [`tile`] — tile-size enumeration and selection,
 //! - [`autotuner`] — the simulated-annealing fusion autotuner,
+//! - [`obs`] — metrics registry, scoped timers, and structured run reports,
 //! - [`dataset`] — the synthetic program corpus and dataset pipelines.
 //!
 //! # Example
@@ -35,5 +36,6 @@ pub use tpu_fusion as fusion;
 pub use tpu_hlo as hlo;
 pub use tpu_learned_cost as learned;
 pub use tpu_nn as nn;
+pub use tpu_obs as obs;
 pub use tpu_sim as sim;
 pub use tpu_tile as tile;
