@@ -53,7 +53,8 @@ mod sa;
 pub use harness::{
     autotune_hardware_only, autotune_hardware_only_observed, autotune_with_cost_model,
     autotune_with_cost_model_observed, autotune_with_model, speedup_over_default, start_config,
-    Budgets, HardwareObjective, ModelObjective, StartMode, TunedConfig,
+    Budgets, HardwareObjective, HwRetryStats, MeasureError, ModelObjective, RetryPolicy,
+    StartMode, TunedConfig,
 };
 pub use baselines::{hill_climb, random_search, SearchResult};
 pub use random_search::random_configs;

@@ -5,23 +5,32 @@
 //! manual-split medians.
 //!
 //! ```text
-//! cargo run -p tpu-bench --release --bin table2 [-- --quick]
+//! cargo run -p tpu-bench --release --bin table2 [-- --quick] \
+//!     [--faults <seed>] [--checkpoint <path>] [--report <path>]
 //! ```
+//!
+//! `--faults <seed>` calibrates the analytical baseline on a device
+//! carrying `FaultPlan::chaos(seed)` (the calibrator retries faulted
+//! measurements and drops unmeasurable kernels); `--checkpoint <path>`
+//! checkpoints every model's training to `<stem>.<tag>.json` files next
+//! to `path` and resumes them on rerun (bit-identical to an
+//! uninterrupted run).
 
 use std::sync::Arc;
 use tpu_bench::{
-    corpus, fusion_samples, fusion_train_val, predict_ns_prepared, print_table,
-    registry_for_report, report_path_from_args, write_report, CalibratedAnalytical, Scale,
+    checkpoint_path_from_args, checkpoint_variant_path, corpus, fault_seed_from_args,
+    fusion_samples, fusion_train_val, predict_ns_prepared, print_table, registry_for_report,
+    report_path_from_args, train_checkpointed, write_report, CalibratedAnalytical, Scale,
 };
 use tpu_dataset::{build_fusion_dataset, Corpus, FusionDataset, KernelExample, Split};
 use tpu_hlo::Kernel;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
     prepare, train_observed, GnnModel, KernelModel, LstmModel, PredictionCache, Predictor,
-    Prepared,
+    Prepared, TrainConfig, TrainReport,
 };
 use tpu_obs::{Registry, RunReport};
-use tpu_sim::TpuConfig;
+use tpu_sim::{FaultPlan, TpuConfig, TpuDevice};
 
 /// Per-model predictions for one program's evaluation kernels.
 struct ProgramEval {
@@ -103,6 +112,32 @@ impl SplitResult {
     }
 }
 
+/// Train one model: with `--checkpoint`, against its own resumable
+/// checkpoint file (`<stem>.<tag>.json`); otherwise the plain —
+/// checkpoint-free but numerically identical — observed path.
+fn train_model<M: KernelModel>(
+    model: &mut M,
+    tag: &str,
+    train_prep: &[Prepared],
+    val_prep: &[Prepared],
+    tcfg: &TrainConfig,
+    registry: &Registry,
+    checkpoint_stem: Option<&std::path::Path>,
+) -> TrainReport {
+    match checkpoint_stem {
+        Some(stem) => train_checkpointed(
+            model,
+            train_prep,
+            val_prep,
+            tcfg,
+            registry,
+            &checkpoint_variant_path(stem, tag),
+        ),
+        None => train_observed(model, train_prep, val_prep, tcfg, registry),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_split(
     scale: Scale,
     corpus: &Corpus,
@@ -110,6 +145,8 @@ fn run_split(
     split: &Split,
     split_name: &str,
     registry: &Registry,
+    fault_seed: Option<u64>,
+    checkpoint_stem: Option<&std::path::Path>,
 ) -> SplitResult {
     let machine = TpuConfig::default();
     let (train_ex, val_ex, test_ex) = dataset.split(split);
@@ -141,7 +178,15 @@ fn run_split(
             let mut cfg = scale.gnn_cfg();
             cfg.seed = seed;
             let mut m = GnnModel::new(cfg);
-            let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, registry);
+            let rep = train_model(
+                &mut m,
+                &format!("{split_name}.gnn{seed}"),
+                &train_prep,
+                &val_prep,
+                &tcfg,
+                registry,
+                checkpoint_stem,
+            );
             println!(
                 "[{split_name}] gnn seed {seed}: val MAPE {:.1}% (epoch {})",
                 rep.best_val, rep.best_epoch
@@ -159,7 +204,15 @@ fn run_split(
             let mut cfg = scale.lstm_cfg();
             cfg.seed = seed;
             let mut m = LstmModel::new(cfg);
-            let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, registry);
+            let rep = train_model(
+                &mut m,
+                &format!("{split_name}.lstm{seed}"),
+                &train_prep,
+                &val_prep,
+                &tcfg,
+                registry,
+                checkpoint_stem,
+            );
             println!(
                 "[{split_name}] lstm seed {seed}: val MAPE {:.1}% (epoch {})",
                 rep.best_val, rep.best_epoch
@@ -171,8 +224,25 @@ fn run_split(
         .expect("at least one seed");
     println!("[{split_name}] lstm selected [{:?}]", t0.elapsed());
 
-    // Calibrate the analytical model on the test programs (§6.1).
-    let analytical = CalibratedAnalytical::fit(corpus, &split.test, &machine);
+    // Calibrate the analytical model on the test programs (§6.1). With
+    // `--faults`, calibration runs on a chaos-faulted device: the
+    // calibrator retries faulted measurements and drops kernels it still
+    // cannot measure, so the baseline stays usable instead of panicking.
+    let analytical = match fault_seed {
+        Some(seed) => {
+            let device = TpuDevice::with_config(machine.clone(), 99)
+                .with_faults(FaultPlan::chaos(seed))
+                .observed(registry);
+            let a = CalibratedAnalytical::fit_with_device(corpus, &split.test, &machine, &device);
+            let f = device.fault_counts();
+            println!(
+                "[{split_name}] calibration under chaos({seed}): {} faults tolerated ({} transient, {} preempted, {} spikes)",
+                f.total(), f.transients, f.preemptions, f.spikes,
+            );
+            a
+        }
+        None => CalibratedAnalytical::fit(corpus, &split.test, &machine),
+    };
 
     // Evaluate per test program. Kernels the analytical model cannot score
     // (no tile-size options — ~1% in the paper) are excluded from the
@@ -220,15 +290,29 @@ fn run_split(
 fn main() {
     let scale = Scale::from_args();
     let report_path = report_path_from_args();
+    let fault_seed = fault_seed_from_args();
+    let checkpoint_stem = checkpoint_path_from_args();
     let registry = registry_for_report(&report_path);
     println!("Table 2 reproduction (scale: {scale:?})");
+    if let Some(seed) = fault_seed {
+        println!("fault injection: FaultPlan::chaos({seed}) on the calibration device");
+    }
     let corpus = corpus(scale);
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
     println!("fusion dataset: {} unique kernels", dataset.examples.len());
 
     // --- Random split (Table 2 proper) ---
     let random = corpus.random_split(0);
-    let result = run_split(scale, &corpus, &dataset, &random, "random", &registry);
+    let result = run_split(
+        scale,
+        &corpus,
+        &dataset,
+        &random,
+        "random",
+        &registry,
+        fault_seed,
+        checkpoint_stem.as_deref(),
+    );
     let (rows, med_big) = result.metric_rows(|t| t >= 5_000.0);
     print_table(
         "Table 2: fusion task, >=5us kernels, random split",
@@ -263,7 +347,16 @@ fn main() {
 
     // --- Manual split (in-text "harder task") ---
     let manual = corpus.manual_split();
-    let manual_result = run_split(scale, &corpus, &dataset, &manual, "manual", &registry);
+    let manual_result = run_split(
+        scale,
+        &corpus,
+        &dataset,
+        &manual,
+        "manual",
+        &registry,
+        fault_seed,
+        checkpoint_stem.as_deref(),
+    );
     let (rows_manual, med_manual) = manual_result.metric_rows(|t| t >= 5_000.0);
     print_table(
         "In-text: fusion task, >=5us kernels, manual split",
@@ -302,9 +395,12 @@ fn main() {
     println!("  <5us medians: ours {:.1} lstm {:.1} analytical {:.1}", med_small[0], med_small[1], med_small[2]);
 
     if let Some(path) = report_path {
-        let report = RunReport::new("table2", &registry)
+        let mut report = RunReport::new("table2", &registry)
             .with_context("scale", format!("{scale:?}"))
             .with_context("splits", "random,manual");
+        if let Some(seed) = fault_seed {
+            report = report.with_context("fault_seed", seed);
+        }
         write_report(&report, &path);
     }
 }

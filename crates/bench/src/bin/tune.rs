@@ -7,23 +7,31 @@
 //! cache, packed forwards, hardware-budget metering.
 //!
 //! ```text
-//! cargo run -p tpu-bench --release --bin tune [-- --quick]
+//! cargo run -p tpu-bench --release --bin tune [-- --quick] \
+//!     [--faults <seed>] [--checkpoint <path>] [--report <path>]
 //! ```
+//!
+//! `--faults <seed>` runs the autotuning demo on a device carrying
+//! `FaultPlan::chaos(seed)`, exercising the retrying measurement harness;
+//! `--checkpoint <path>` checkpoints every model's training to
+//! `<stem>.<tag>.json` files next to `path` and resumes them on rerun
+//! (bit-identical to an uninterrupted run).
 
 use std::sync::Arc;
 use tpu_autotuner::{autotune_with_cost_model_observed, speedup_over_default, Budgets, StartMode};
 use tpu_bench::{
-    corpus, fusion_train_val, predict_ns_prepared, print_table, registry_for_report,
-    report_path_from_args, write_report, Scale,
+    checkpoint_path_from_args, checkpoint_variant_path, corpus, fault_seed_from_args,
+    fusion_train_val, predict_ns_prepared, print_table, registry_for_report,
+    report_path_from_args, train_checkpointed, write_report, Scale,
 };
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
     prepare, train_observed, GnnConfig, GnnModel, KernelModel, LstmModel, PredictionCache,
-    Prepared, Reduction, TaskLoss, TrainConfig,
+    Prepared, Reduction, TaskLoss, TrainConfig, TrainReport,
 };
 use tpu_obs::RunReport;
-use tpu_sim::TpuDevice;
+use tpu_sim::{FaultPlan, TpuDevice};
 
 fn test_medians<M: KernelModel>(
     model: &M,
@@ -48,11 +56,41 @@ fn test_medians<M: KernelModel>(
     (median(&mapes), median(&taus))
 }
 
+/// Train one sweep model: with `--checkpoint`, against its own resumable
+/// checkpoint file (`<stem>.<tag>.json`); otherwise the plain —
+/// checkpoint-free but numerically identical — observed path.
+fn train_model<M: KernelModel>(
+    model: &mut M,
+    tag: &str,
+    train_prep: &[Prepared],
+    val_prep: &[Prepared],
+    tcfg: &TrainConfig,
+    registry: &tpu_obs::Registry,
+    checkpoint_stem: Option<&std::path::Path>,
+) -> TrainReport {
+    match checkpoint_stem {
+        Some(stem) => train_checkpointed(
+            model,
+            train_prep,
+            val_prep,
+            tcfg,
+            registry,
+            &checkpoint_variant_path(stem, tag),
+        ),
+        None => train_observed(model, train_prep, val_prep, tcfg, registry),
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let report_path = report_path_from_args();
+    let fault_seed = fault_seed_from_args();
+    let checkpoint_stem = checkpoint_path_from_args();
     let registry = registry_for_report(&report_path);
     println!("Fusion-task hyperparameter sweep (scale: {scale:?})");
+    if let Some(seed) = fault_seed {
+        println!("fault injection: FaultPlan::chaos({seed}) on the autotuning device");
+    }
     let corpus = corpus(scale);
     let dataset = build_fusion_dataset(&corpus, &scale.fusion_cfg());
     let split = corpus.random_split(0);
@@ -147,10 +185,18 @@ fn main() {
         ),
     ];
     let mut winner: Option<(f64, GnnModel)> = None;
-    for (name, gcfg) in variants {
+    for (i, (name, gcfg)) in variants.into_iter().enumerate() {
         let t0 = std::time::Instant::now();
         let mut m = GnnModel::new(gcfg);
-        let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, &registry);
+        let rep = train_model(
+            &mut m,
+            &format!("v{i}"),
+            &train_prep,
+            &val_prep,
+            &tcfg,
+            &registry,
+            checkpoint_stem.as_deref(),
+        );
         let (test_mape, test_tau) = test_medians(&m, &by_program);
         println!("{name}: done in {:?}", t0.elapsed());
         rows.push(vec![
@@ -166,7 +212,15 @@ fn main() {
     {
         let t0 = std::time::Instant::now();
         let mut m = LstmModel::new(scale.lstm_cfg());
-        let rep = train_observed(&mut m, &train_prep, &val_prep, &tcfg, &registry);
+        let rep = train_model(
+            &mut m,
+            "lstm",
+            &train_prep,
+            &val_prep,
+            &tcfg,
+            &registry,
+            checkpoint_stem.as_deref(),
+        );
         let (test_mape, test_tau) = test_medians(&m, &by_program);
         println!("lstm h48: done in {:?}", t0.elapsed());
         rows.push(vec![
@@ -209,7 +263,11 @@ fn main() {
         chains: 4,
     };
     let cache = Arc::new(PredictionCache::new());
-    let device = TpuDevice::new(42).observed(&registry);
+    let device = match fault_seed {
+        Some(seed) => TpuDevice::new(42).with_faults(FaultPlan::chaos(seed)),
+        None => TpuDevice::new(42),
+    }
+    .observed(&registry);
     let tuned = autotune_with_cost_model_observed(
         target,
         &device,
@@ -228,12 +286,24 @@ fn main() {
         tuned.model_batches,
         tuned.cache_hits,
     );
+    if fault_seed.is_some() {
+        let f = &tuned.faults;
+        let r = &tuned.retry_stats;
+        println!(
+            "chaos: {} faults ({} transient, {} preempted, {} spikes) | {} retries | {} outliers rejected | {} candidates exhausted",
+            f.total(), f.transients, f.preemptions, f.spikes,
+            r.retries, r.outliers_rejected, r.exhausted_candidates,
+        );
+    }
 
     if let Some(path) = report_path {
-        let report = RunReport::new("tune", &registry)
+        let mut report = RunReport::new("tune", &registry)
             .with_context("scale", format!("{scale:?}"))
             .with_context("target_program", &target.name)
             .with_context("model_steps", budgets.model_steps);
+        if let Some(seed) = fault_seed {
+            report = report.with_context("fault_seed", seed);
+        }
         write_report(&report, &path);
     }
 }

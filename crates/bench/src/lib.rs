@@ -21,7 +21,8 @@ use tpu_analytical::{AnalyticalModel, Calibration};
 use tpu_dataset::{Corpus, CorpusScale, FusionDataset, FusionDatasetConfig, Split, TileDatasetConfig};
 use tpu_hlo::Kernel;
 use tpu_learned_cost::{
-    prepare, CostModel, GnnConfig, KernelModel, LstmConfig, Prepared, Sample, TrainConfig,
+    prepare, train_resumable, CostModel, GnnConfig, KernelModel, LstmConfig, Prepared, Sample,
+    TrainCheckpoint, TrainConfig, TrainReport,
 };
 use tpu_sim::TpuConfig;
 
@@ -172,6 +173,124 @@ pub fn write_report(report: &tpu_obs::RunReport, path: &std::path::Path) {
     }
 }
 
+/// Fault seed following a `--faults <seed>` flag in the process args, if
+/// any.
+///
+/// Binaries that support it wrap their device in
+/// `tpu_sim::FaultPlan::chaos(seed)` so the run exercises the retrying
+/// measurement paths end to end; without the flag the device stays
+/// fault-free and results are bit-identical to a build without the
+/// feature. A malformed seed is a usage error and exits the process.
+pub fn fault_seed_from_args() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            let Some(v) = args.next() else {
+                eprintln!("--faults requires a seed value");
+                std::process::exit(2);
+            };
+            return Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("--faults seed must be an unsigned integer, got `{v}`");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Path following a `--checkpoint <path>` flag in the process args, if
+/// any.
+///
+/// Binaries that train models use the path as a stem for per-model
+/// checkpoint files (see [`train_checkpointed`] and
+/// [`checkpoint_variant_path`]): a run resumes any checkpoints it finds
+/// and rewrites them after every epoch, so an interrupted run loses at
+/// most its current epoch.
+pub fn checkpoint_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--checkpoint" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Per-model checkpoint file derived from the `--checkpoint` stem: for a
+/// stem `sweeps/ckpt.json` and tag `v0`, `sweeps/ckpt.v0.json`. Binaries
+/// that train several models in one run give each a distinct tag so the
+/// checkpoints never collide.
+pub fn checkpoint_variant_path(stem: &std::path::Path, tag: &str) -> std::path::PathBuf {
+    let base = stem
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("checkpoint");
+    stem.with_file_name(format!("{base}.{tag}.json"))
+}
+
+/// Train with checkpoint/resume against a file: resumes from `path` when
+/// it holds a checkpoint that fits `model` (anything else — missing file,
+/// corrupt JSON, wrong model family or shape — is reported and training
+/// starts fresh), and rewrites `path` after every completed epoch. A
+/// resumed run is bit-identical to an uninterrupted one
+/// (`tpu_learned_cost::train_resumable`'s contract), so the sweep results
+/// do not depend on where a run was interrupted.
+pub fn train_checkpointed<M: KernelModel>(
+    model: &mut M,
+    train_prep: &[Prepared],
+    val_prep: &[Prepared],
+    cfg: &TrainConfig,
+    registry: &tpu_obs::Registry,
+    path: &std::path::Path,
+) -> TrainReport {
+    let resume = match std::fs::read_to_string(path) {
+        Ok(json) => match TrainCheckpoint::from_json(&json) {
+            Ok(ckpt) => {
+                println!(
+                    "  resuming from {} (epoch {}/{})",
+                    path.display(),
+                    ckpt.epoch,
+                    cfg.epochs
+                );
+                Some(ckpt)
+            }
+            Err(e) => {
+                eprintln!("  ignoring checkpoint {}: {e}", path.display());
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    let mut sink = |ckpt: &TrainCheckpoint| {
+        if let Err(e) = std::fs::write(path, ckpt.to_json()) {
+            eprintln!("  failed to write checkpoint {}: {e}", path.display());
+        }
+    };
+    match train_resumable(
+        model,
+        train_prep,
+        val_prep,
+        cfg,
+        registry,
+        resume.as_ref(),
+        Some(&mut sink),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            // The checkpoint parsed but does not fit this model (wrong
+            // family or weight shape). Resume validation happens before
+            // any state is touched, so the model is still fresh: report
+            // the mismatch and train from scratch, overwriting the file.
+            eprintln!(
+                "  checkpoint {} does not fit this model: {e}; training fresh",
+                path.display()
+            );
+            train_resumable(model, train_prep, val_prep, cfg, registry, None, Some(&mut sink))
+                .expect("fresh training cannot fail checkpoint validation")
+        }
+    }
+}
+
 /// A calibrated analytical model bundled as a kernel-cost closure.
 pub struct CalibratedAnalytical {
     model: AnalyticalModel,
@@ -182,8 +301,22 @@ impl CalibratedAnalytical {
     /// Calibrate per-kind coefficients "by executing each program in the
     /// test set … with a default fusion configuration" (§6.1).
     pub fn fit(corpus: &Corpus, test_programs: &[usize], machine: &TpuConfig) -> Self {
-        let model = AnalyticalModel::new(machine.clone());
         let device = tpu_sim::TpuDevice::with_config(machine.clone(), 99);
+        Self::fit_with_device(corpus, test_programs, machine, &device)
+    }
+
+    /// [`CalibratedAnalytical::fit`] against a caller-supplied device —
+    /// the hook for calibrating on a fault-injecting device (`--faults`):
+    /// `Calibration::fit` retries faulted measurements and drops kernels
+    /// it cannot measure, and is bit-identical to [`Self::fit`] when
+    /// `device` is `TpuDevice::with_config(machine, 99)` with no faults.
+    pub fn fit_with_device(
+        corpus: &Corpus,
+        test_programs: &[usize],
+        machine: &TpuConfig,
+        device: &tpu_sim::TpuDevice,
+    ) -> Self {
+        let model = AnalyticalModel::new(machine.clone());
         let fused: Vec<tpu_hlo::FusedProgram> = test_programs
             .iter()
             .map(|&i| {
@@ -192,7 +325,7 @@ impl CalibratedAnalytical {
                 tpu_fusion::apply_fusion(p, &space, &cfg)
             })
             .collect();
-        let calibration = Calibration::fit(&model, &fused, &device);
+        let calibration = Calibration::fit(&model, &fused, device);
         CalibratedAnalytical { model, calibration }
     }
 

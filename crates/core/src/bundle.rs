@@ -94,6 +94,9 @@ struct LstmBundle {
 }
 
 /// Serialize a trained GNN with its architecture.
+// INVARIANT (here and in `save_lstm`): serializing an in-memory bundle
+// cannot fail — every field is a plain data structure with a total
+// `Serialize` impl — so the `expect` is unreachable, not a fallible path.
 pub fn save_gnn(model: &GnnModel) -> String {
     serde_json::to_string(&GnnBundle {
         kind: "gnn".into(),

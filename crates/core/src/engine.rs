@@ -135,9 +135,19 @@ impl PredictionCache {
         &self.shards[(hash % SHARDS as u64) as usize]
     }
 
+    /// Lock a shard, recovering from mutex poisoning: shard updates are
+    /// single `HashMap` operations (never left half-done by a panic) and
+    /// predictions are deterministic, so a panic on another serving thread
+    /// must not take the cache — and every future lookup — down with it.
+    fn lock(
+        shard: &Mutex<HashMap<u64, Option<f64>>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, Option<f64>>> {
+        shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Look up by pre-computed hash, counting a hit or miss.
     pub fn lookup_hash(&self, hash: u64) -> Option<Option<f64>> {
-        let found = self.shard(hash).lock().unwrap().get(&hash).copied();
+        let found = PredictionCache::lock(self.shard(hash)).get(&hash).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -151,7 +161,7 @@ impl PredictionCache {
         if self.shard_capacity == Some(0) {
             return;
         }
-        let mut map = self.shard(hash).lock().unwrap();
+        let mut map = PredictionCache::lock(self.shard(hash));
         if let Some(cap) = self.shard_capacity {
             if map.len() >= cap && !map.contains_key(&hash) {
                 if let Some(&victim) = map.keys().next() {
@@ -181,7 +191,7 @@ impl PredictionCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| PredictionCache::lock(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -192,7 +202,7 @@ impl PredictionCache {
     /// Drop all entries (counters are kept).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap().clear();
+            PredictionCache::lock(s).clear();
         }
     }
 
@@ -467,6 +477,8 @@ impl<M: CostModel> Predictor<M> {
         self.obs.model_evals.add(stats.model_evals);
         self.obs.model_batches.add(stats.model_batches);
 
+        // INVARIANT: every position is either a cache hit or was filled
+        // from `by_hash`, which covers every distinct missing hash.
         let out = resolved
             .into_iter()
             .map(|r| r.expect("every kernel resolved"))
@@ -477,11 +489,113 @@ impl<M: CostModel> Predictor<M> {
 
 impl<M: CostModel> CostModel for Predictor<M> {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
-        self.predict_ns_refs(&[kernel]).0.pop().unwrap()
+        // INVARIANT: predict_ns_refs returns one slot per input kernel.
+        self.predict_ns_refs(&[kernel]).0.pop().expect("one prediction per kernel")
     }
     fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
         self.predict_ns(kernels)
     }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A two-stage serving chain: score with `primary`, and for every position
+/// where the primary's answer is unusable — `None` (backend cannot score
+/// that kernel) or non-finite (a poisoned checkpoint, a diverged model, an
+/// overflowed feature) — fall through to `secondary`.
+///
+/// This is the serving-side safety net for §6.3-style deployment: a
+/// learned model that starts emitting NaN must degrade to a cheaper but
+/// sound estimate (e.g. the calibrated analytical model) instead of
+/// propagating NaN into the autotuner's objective. The secondary is asked
+/// **once** per call, with only the fallen-through kernels, so neural
+/// secondaries still get one packed forward.
+///
+/// `FallbackChain` is itself a [`CostModel`], so it nests (tertiary
+/// fallbacks) and composes with [`Predictor`] — wrap the chain in a
+/// session and resolved fallbacks are cached like any other prediction.
+/// Positions the secondary also cannot answer stay `None`.
+pub struct FallbackChain<P, S> {
+    primary: P,
+    secondary: S,
+    name: String,
+    fallbacks: AtomicU64,
+    obs_fallbacks: Counter,
+}
+
+/// A usable prediction is present and finite.
+fn usable(v: &Option<f64>) -> bool {
+    matches!(v, Some(x) if x.is_finite())
+}
+
+impl<P: CostModel, S: CostModel> FallbackChain<P, S> {
+    /// Chain `primary` with `secondary` as its fallback.
+    pub fn new(primary: P, secondary: S) -> FallbackChain<P, S> {
+        let name = format!("{}+fallback-{}", primary.name(), secondary.name());
+        FallbackChain {
+            primary,
+            secondary,
+            name,
+            fallbacks: AtomicU64::new(0),
+            obs_fallbacks: Counter::noop(),
+        }
+    }
+
+    /// Attach an observability registry (builder-style): every position
+    /// that falls through to the secondary bumps `core.engine.fallbacks`.
+    pub fn observed(mut self, registry: &Registry) -> FallbackChain<P, S> {
+        self.obs_fallbacks = registry.counter("core.engine.fallbacks");
+        self
+    }
+
+    /// The primary model.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+
+    /// The fallback model.
+    pub fn secondary(&self) -> &S {
+        &self.secondary
+    }
+
+    /// Positions that have fallen through to the secondary so far.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn count_fallbacks(&self, n: u64) {
+        if n > 0 {
+            self.fallbacks.fetch_add(n, Ordering::Relaxed);
+            self.obs_fallbacks.add(n);
+        }
+    }
+}
+
+impl<P: CostModel, S: CostModel> CostModel for FallbackChain<P, S> {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        let first = self.primary.predict_kernel_ns(kernel);
+        if usable(&first) {
+            return first;
+        }
+        self.count_fallbacks(1);
+        self.secondary.predict_kernel_ns(kernel)
+    }
+
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        let mut out = self.primary.predict_batch_ns(kernels);
+        let fallen: Vec<usize> = (0..out.len()).filter(|&i| !usable(&out[i])).collect();
+        if fallen.is_empty() {
+            return out;
+        }
+        self.count_fallbacks(fallen.len() as u64);
+        let retry: Vec<Kernel> = fallen.iter().map(|&i| kernels[i].clone()).collect();
+        for (&i, ns) in fallen.iter().zip(self.secondary.predict_batch_ns(&retry)) {
+            out[i] = ns;
+        }
+        out
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -739,6 +853,112 @@ mod tests {
             .unwrap();
         assert_eq!(observed, p.cache_stats().evictions);
         assert!(observed > 0);
+    }
+
+    #[test]
+    fn fallback_chain_rescues_none_and_non_finite() {
+        let primary = FnCostModel::new("flaky", |k: &Kernel| {
+            match k.computation.num_nodes() % 3 {
+                0 => None,                // unsupported
+                1 => Some(f64::NAN),      // poisoned
+                _ => Some(100.0),         // healthy
+            }
+        });
+        let secondary = FnCostModel::new("safe", |_k: &Kernel| Some(7.0));
+        let chain = FallbackChain::new(primary, secondary);
+        // num_nodes for kernel(cols) here is 3 (param, tanh, exp).
+        let k = kernel(32);
+        let n = k.computation.num_nodes();
+        let expected = match n % 3 {
+            0 | 1 => Some(7.0),
+            _ => Some(100.0),
+        };
+        assert_eq!(chain.predict_kernel_ns(&k), expected);
+        assert_eq!(chain.name(), "flaky+fallback-safe");
+    }
+
+    #[test]
+    fn fallback_batch_splices_positionally_with_one_secondary_call() {
+        struct Flaky;
+        impl CostModel for Flaky {
+            fn predict_kernel_ns(&self, k: &Kernel) -> Option<f64> {
+                let cols = k.computation.node(tpu_hlo::NodeId(0)).shape.dims()[1];
+                match cols {
+                    16 => Some(f64::NAN),
+                    32 => None,
+                    48 => Some(f64::NEG_INFINITY),
+                    c => Some(c as f64),
+                }
+            }
+            fn name(&self) -> &str {
+                "flaky"
+            }
+        }
+        let secondary_batches = AtomicUsize::new(0);
+        struct Safe<'a>(&'a AtomicUsize);
+        impl CostModel for Safe<'_> {
+            fn predict_kernel_ns(&self, k: &Kernel) -> Option<f64> {
+                let cols = k.computation.node(tpu_hlo::NodeId(0)).shape.dims()[1];
+                Some(1000.0 + cols as f64)
+            }
+            fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                kernels.iter().map(|k| self.predict_kernel_ns(k)).collect()
+            }
+            fn name(&self) -> &str {
+                "safe"
+            }
+        }
+        let registry = Registry::enabled();
+        let chain = FallbackChain::new(Flaky, Safe(&secondary_batches)).observed(&registry);
+        let kernels: Vec<Kernel> = [16, 32, 48, 64, 80].map(kernel).to_vec();
+        let out = chain.predict_batch_ns(&kernels);
+        assert_eq!(
+            out,
+            vec![Some(1016.0), Some(1032.0), Some(1048.0), Some(64.0), Some(80.0)],
+            "fallen positions filled by secondary, healthy ones untouched"
+        );
+        assert_eq!(secondary_batches.load(Ordering::SeqCst), 1, "one packed fallback batch");
+        assert_eq!(chain.fallback_count(), 3);
+        assert_eq!(
+            registry.snapshot().counter("core.engine.fallbacks"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn fallback_chain_is_silent_when_primary_is_healthy() {
+        let primary = FnCostModel::new("ok", |_k: &Kernel| Some(5.0));
+        let secondary = FnCostModel::new("never", |_k: &Kernel| panic!("must not be asked"));
+        let chain = FallbackChain::new(primary, secondary);
+        let kernels: Vec<Kernel> = (1..=3).map(|i| kernel(i * 16)).collect();
+        assert_eq!(chain.predict_batch_ns(&kernels), vec![Some(5.0); 3]);
+        assert_eq!(chain.fallback_count(), 0);
+    }
+
+    #[test]
+    fn fallback_chain_composes_with_predictor() {
+        // A NaN-emitting primary behind a Predictor session: the resolved
+        // fallback value is cached, so the second call costs no model work
+        // and no additional fallbacks.
+        let primary = FnCostModel::new("nan", |_k: &Kernel| Some(f64::NAN));
+        let secondary = FnCostModel::new("safe", |_k: &Kernel| Some(9.0));
+        let p = Predictor::new(FallbackChain::new(primary, secondary));
+        let k = kernel(32);
+        assert_eq!(p.predict_kernel_ns(&k), Some(9.0));
+        assert_eq!(p.predict_kernel_ns(&k), Some(9.0));
+        let s = p.stats();
+        assert_eq!((s.cache_hits, s.model_evals), (1, 1));
+        assert_eq!(p.model().fallback_count(), 1, "cache absorbed the repeat");
+    }
+
+    #[test]
+    fn unanswerable_positions_stay_none_after_the_chain() {
+        let primary = FnCostModel::new("none", |_k: &Kernel| None);
+        let secondary = FnCostModel::new("also-none", |_k: &Kernel| None);
+        let chain = FallbackChain::new(primary, secondary);
+        assert_eq!(chain.predict_kernel_ns(&kernel(32)), None);
+        assert_eq!(chain.fallback_count(), 1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod metrics;
 
 mod batch;
 mod bundle;
+mod checkpoint;
 mod cost_model;
 mod engine;
 mod lstm_model;
@@ -53,13 +54,16 @@ mod train;
 
 pub use batch::{GraphBatch, Prepared, Sample};
 pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm, BundleError};
+pub use checkpoint::{CheckpointError, TrainCheckpoint, SCHEMA as CHECKPOINT_SCHEMA};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
 pub use engine::{
-    forward_log_ns, forward_log_ns_chunked, CacheStats, PredictStats, PredictionCache, Predictor,
+    forward_log_ns, forward_log_ns_chunked, CacheStats, FallbackChain, PredictStats,
+    PredictionCache, Predictor,
 };
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
 pub use train::{
     hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_observed,
-    train_step, validation_metric, HyperTrial, KernelModel, TaskLoss, TrainConfig, TrainReport,
+    train_resumable, train_step, validation_metric, HyperTrial, KernelModel, TaskLoss,
+    TrainConfig, TrainReport,
 };

@@ -291,6 +291,7 @@ impl GnnModel {
     /// [`Predictor`](crate::Predictor) session instead.
     pub fn predict_log_ns(&self, kernel: &Kernel) -> f64 {
         let prepared = Prepared::from_sample(&Sample::new(kernel.clone(), 0.0));
+        // INVARIANT: pack returns None only for an empty slice.
         let batch = GraphBatch::pack(&[&prepared]).expect("one kernel");
         let mut tape = Tape::new();
         let out = self.forward(&mut tape, &batch);

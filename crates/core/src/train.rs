@@ -3,6 +3,7 @@
 //! selected the best-performing models on the validation split").
 
 use crate::batch::{GraphBatch, Prepared, Sample};
+use crate::checkpoint::{decode_f64, encode_f64, CheckpointError, TrainCheckpoint, SCHEMA};
 use crate::lstm_model::LstmModel;
 use crate::metrics::{kendall_tau, mape, mean};
 use crate::model::GnnModel;
@@ -53,6 +54,12 @@ pub struct TrainConfig {
     /// order, so losses and weights are bit-identical for any
     /// `RAYON_NUM_THREADS`. `1` disables sharding.
     pub shards: usize,
+    /// Bound on non-finite-loss rollbacks per epoch: each rollback
+    /// restores the epoch-start weights/optimizer/RNG, halves the learning
+    /// rate, and retries the epoch; when the bound is exhausted training
+    /// stops at the last healthy state. The guard only fires on a
+    /// non-finite epoch loss, so finite-loss runs are unaffected.
+    pub max_rollbacks: usize,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +73,7 @@ impl Default for TrainConfig {
             loss: TaskLoss::FusionLogMse,
             max_batches_per_epoch: 400,
             shards: 4,
+            max_rollbacks: 8,
         }
     }
 }
@@ -104,6 +112,7 @@ struct TrainObs {
     epochs: Counter,
     steps: Counter,
     steps_skipped: Counter,
+    rollbacks: Counter,
     epoch_ns: Histogram,
     step_ns: Histogram,
     grad_reduce_ns: Histogram,
@@ -120,6 +129,7 @@ impl TrainObs {
             epochs: registry.counter("core.train.epochs"),
             steps: registry.counter("core.train.steps"),
             steps_skipped: registry.counter("core.train.steps_skipped"),
+            rollbacks: registry.counter("core.train.rollbacks"),
             epoch_ns: registry.histogram("core.train.epoch_ns"),
             step_ns: registry.histogram("core.train.step_ns"),
             grad_reduce_ns: registry.histogram("core.train.grad_reduce_ns"),
@@ -136,6 +146,7 @@ impl TrainObs {
             epochs: Counter::noop(),
             steps: Counter::noop(),
             steps_skipped: Counter::noop(),
+            rollbacks: Counter::noop(),
             epoch_ns: Histogram::noop(),
             step_ns: Histogram::noop(),
             grad_reduce_ns: Histogram::noop(),
@@ -501,40 +512,154 @@ pub fn train_observed<M: KernelModel>(
     cfg: &TrainConfig,
     registry: &Registry,
 ) -> TrainReport {
+    // INVARIANT: with `resume: None` every error arm in `train_resumable`
+    // is unreachable (they all validate the resume checkpoint).
+    train_resumable(model, train_set, val_set, cfg, registry, None, None)
+        .expect("fresh training cannot fail checkpoint validation")
+}
+
+/// [`train_observed`] with checkpointing, resume, and a non-finite-loss
+/// rollback guard.
+///
+/// - `resume`: continue a run from a [`TrainCheckpoint`] (weights,
+///   optimizer, RNG stream, and per-epoch trace are all restored); the
+///   resumed run is **bit-identical** to the uninterrupted one. `None`
+///   trains from scratch and reproduces [`train_observed`] exactly.
+/// - `on_checkpoint`: called after every completed epoch with a snapshot
+///   that resumes from that point. `None` skips snapshot assembly
+///   entirely, so plain training pays nothing for this feature.
+/// - Rollback guard: when an epoch produces a non-finite mean loss
+///   (diverged weights, poisoned gradients), the epoch-start weights,
+///   optimizer, and RNG are restored, the learning rate is halved, and the
+///   epoch retries — at most [`TrainConfig::max_rollbacks`] times, after
+///   which training stops at the last healthy state. Each rollback bumps
+///   `core.train.rollbacks`.
+///
+/// # Errors
+///
+/// Only from `resume` validation: [`CheckpointError::WrongModel`] when the
+/// checkpoint is for a different model family,
+/// [`CheckpointError::WeightMismatch`] when its weights do not fit this
+/// architecture, and [`CheckpointError::Corrupt`] when the RNG snapshot is
+/// not 33 words.
+pub fn train_resumable<M: KernelModel>(
+    model: &mut M,
+    train_set: &[Prepared],
+    val_set: &[Prepared],
+    cfg: &TrainConfig,
+    registry: &Registry,
+    resume: Option<&TrainCheckpoint>,
+    mut on_checkpoint: Option<&mut dyn FnMut(&TrainCheckpoint)>,
+) -> Result<TrainReport, CheckpointError> {
     let obs = if registry.is_enabled() {
         TrainObs::new(registry)
     } else {
         TrainObs::noop()
     };
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(cfg.lr);
-    let mut report = TrainReport {
-        train_loss: Vec::new(),
-        val_metric: Vec::new(),
-        best_val: f64::NAN,
-        best_epoch: 0,
-    };
+    let mut rng;
+    let mut opt;
+    let mut report;
+    let mut best_weights: Option<String>;
+    let mut rollbacks: u64;
+    let start_epoch;
+    match resume {
+        None => {
+            rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            opt = Adam::new(cfg.lr);
+            report = TrainReport {
+                train_loss: Vec::new(),
+                val_metric: Vec::new(),
+                best_val: f64::NAN,
+                best_epoch: 0,
+            };
+            best_weights = None;
+            rollbacks = 0;
+            start_epoch = 0;
+        }
+        Some(ckpt) => {
+            if ckpt.model_kind != model.model_name() {
+                return Err(CheckpointError::WrongModel {
+                    expected: model.model_name().to_string(),
+                    found: ckpt.model_kind.clone(),
+                });
+            }
+            let arch = model.params();
+            if ckpt.params.num_params() != arch.num_params()
+                || ckpt.params.num_scalars() != arch.num_scalars()
+            {
+                return Err(CheckpointError::WeightMismatch {
+                    expected: arch.num_scalars(),
+                    found: ckpt.params.num_scalars(),
+                });
+            }
+            let words: [u32; 33] = ckpt.rng.as_slice().try_into().map_err(|_| {
+                CheckpointError::Corrupt(format!(
+                    "rng snapshot must be 33 words, got {}",
+                    ckpt.rng.len()
+                ))
+            })?;
+            rng = ChaCha8Rng::from_state_words(&words);
+            opt = Adam::from_state(ckpt.opt.clone());
+            *model.params_mut() = ckpt.params.clone();
+            report = TrainReport {
+                train_loss: ckpt.train_loss.iter().map(|&v| decode_f64(v)).collect(),
+                val_metric: ckpt.val_metric.iter().map(|&v| decode_f64(v)).collect(),
+                best_val: decode_f64(ckpt.best_val),
+                best_epoch: ckpt.best_epoch,
+            };
+            best_weights = ckpt.best_weights.clone();
+            rollbacks = ckpt.rollbacks;
+            start_epoch = ckpt.epoch;
+        }
+    }
     let higher_better = matches!(cfg.loss, TaskLoss::TileRank(_) | TaskLoss::TileMse);
-    let mut best_weights: Option<String> = None;
     let mut tapes: Vec<Tape> = Vec::new();
 
-    for epoch in 0..cfg.epochs {
+    'epochs: for epoch in start_epoch..cfg.epochs {
         let epoch_timer = obs.epoch_ns.start_timer();
-        let mut batches = batch_indices(train_set, cfg, &mut rng);
-        batches.truncate(cfg.max_batches_per_epoch);
-        let mut losses = Vec::new();
-        for idxs in &batches {
-            let step_timer = obs.step_ns.start_timer();
-            let step = train_step_inner(model, train_set, idxs, cfg, &mut opt, &mut tapes, &obs);
-            step_timer.stop();
-            if let Some(l) = step {
-                losses.push(l);
-                obs.steps.inc();
-            } else {
-                obs.steps_skipped.inc();
+        // Epoch-start snapshot, restored if the epoch's loss goes
+        // non-finite. Cheap relative to an epoch of forward/backward.
+        let snap_rng = rng.state_words();
+        let snap_params = model.params().clone();
+        let snap_opt = opt.state();
+        let mut attempts = 0usize;
+        let epoch_loss = loop {
+            let mut batches = batch_indices(train_set, cfg, &mut rng);
+            batches.truncate(cfg.max_batches_per_epoch);
+            let mut losses = Vec::new();
+            for idxs in &batches {
+                let step_timer = obs.step_ns.start_timer();
+                let step =
+                    train_step_inner(model, train_set, idxs, cfg, &mut opt, &mut tapes, &obs);
+                step_timer.stop();
+                if let Some(l) = step {
+                    losses.push(l);
+                    obs.steps.inc();
+                } else {
+                    obs.steps_skipped.inc();
+                }
             }
-        }
-        let epoch_loss = mean(&losses);
+            let epoch_loss = mean(&losses);
+            // `mean` of zero steps is NaN by construction, not divergence —
+            // only a non-finite loss from real steps triggers the guard.
+            if losses.is_empty() || epoch_loss.is_finite() {
+                break epoch_loss;
+            }
+            rollbacks += 1;
+            obs.rollbacks.inc();
+            rng = ChaCha8Rng::from_state_words(&snap_rng);
+            *model.params_mut() = snap_params.clone();
+            let mut backed_off = snap_opt.clone();
+            backed_off.lr *= 0.5f32.powi(attempts as i32 + 1);
+            opt = Adam::from_state(backed_off);
+            attempts += 1;
+            if attempts > cfg.max_rollbacks {
+                // Give up: the model is already restored to the last
+                // healthy state; stop before poisoning it again.
+                epoch_timer.stop();
+                break 'epochs;
+            }
+        };
         report.train_loss.push(epoch_loss);
         obs.epoch_loss.push(epoch_loss);
 
@@ -553,6 +678,24 @@ pub fn train_observed<M: KernelModel>(
         }
         epoch_timer.stop();
         obs.epochs.inc();
+
+        if let Some(sink) = on_checkpoint.as_deref_mut() {
+            sink(&TrainCheckpoint {
+                schema: SCHEMA.to_string(),
+                model_kind: model.model_name().to_string(),
+                epoch: epoch + 1,
+                lr: opt.lr(),
+                rollbacks,
+                rng: rng.state_words().to_vec(),
+                params: model.params().clone(),
+                opt: opt.state(),
+                best_weights: best_weights.clone(),
+                best_val: encode_f64(report.best_val),
+                best_epoch: report.best_epoch,
+                train_loss: report.train_loss.iter().map(|&v| encode_f64(v)).collect(),
+                val_metric: report.val_metric.iter().map(|&v| encode_f64(v)).collect(),
+            });
+        }
     }
     obs.best_val.set(report.best_val);
     obs.best_epoch.set(report.best_epoch as f64);
@@ -562,7 +705,7 @@ pub fn train_observed<M: KernelModel>(
             *model.params_mut() = store;
         }
     }
-    report
+    Ok(report)
 }
 
 /// One hyperparameter-search trial description and its score.
@@ -635,6 +778,8 @@ pub fn hyper_search_gnn(
             }
         }
     }
+    // INVARIANT: the reduction/pooling/phi grids are non-empty statics,
+    // so at least one trial always runs.
     let (model, report, _) = best.expect("at least one trial");
     (model, report, trials)
 }
@@ -910,6 +1055,251 @@ mod obs_tests {
             obs_report.val_metric.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
         assert_eq!(plain.params().to_json(), observed.params().to_json());
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+    use tpu_sim::{kernel_time_ns, TpuConfig};
+
+    fn dataset() -> (Vec<Prepared>, Vec<Prepared>) {
+        let cfg = TpuConfig::default();
+        let sizes = [
+            (64usize, 128usize),
+            (128, 256),
+            (256, 256),
+            (512, 512),
+            (1024, 512),
+            (1024, 1024),
+        ];
+        let mut samples = Vec::new();
+        for &(r, c) in &sizes {
+            let mut b = GraphBuilder::new("k");
+            let x = b.parameter("x", Shape::matrix(r, c), DType::F32);
+            let t = b.tanh(x);
+            let k = Kernel::new(b.finish(t));
+            let t_ns = kernel_time_ns(&k, &cfg);
+            samples.push(Sample::new(k, t_ns));
+        }
+        let prepared = prepare(&samples);
+        (prepared[..4].to_vec(), prepared[4..].to_vec())
+    }
+
+    fn small_gnn() -> GnnModel {
+        GnnModel::new(GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        })
+    }
+
+    fn cfg(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 2,
+            lr: 3e-3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn resumed_training_is_bit_identical_to_uninterrupted() {
+        let (train_set, val_set) = dataset();
+        let noop = Registry::noop();
+
+        // Uninterrupted: 6 straight epochs.
+        let mut straight = small_gnn();
+        let straight_report = train(&mut straight, &train_set, &val_set, &cfg(6));
+
+        // Interrupted: 3 epochs, checkpoint to JSON, resume for 3 more.
+        // Epoch iterations don't depend on cfg.epochs, so a 3-epoch run's
+        // final checkpoint equals a 6-epoch run's epoch-3 checkpoint.
+        let mut interrupted = small_gnn();
+        let mut last_json: Option<String> = None;
+        let mut sink = |c: &TrainCheckpoint| last_json = Some(c.to_json());
+        train_resumable(
+            &mut interrupted,
+            &train_set,
+            &val_set,
+            &cfg(3),
+            &noop,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+        let ckpt = TrainCheckpoint::from_json(&last_json.expect("3 checkpoints taken")).unwrap();
+        assert_eq!(ckpt.epoch, 3);
+        assert_eq!(ckpt.model_kind, "gnn");
+
+        let mut resumed = small_gnn();
+        let resumed_report = train_resumable(
+            &mut resumed,
+            &train_set,
+            &val_set,
+            &cfg(6),
+            &noop,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap();
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&straight_report.train_loss), bits(&resumed_report.train_loss));
+        assert_eq!(bits(&straight_report.val_metric), bits(&resumed_report.val_metric));
+        assert_eq!(
+            straight_report.best_val.to_bits(),
+            resumed_report.best_val.to_bits()
+        );
+        assert_eq!(straight_report.best_epoch, resumed_report.best_epoch);
+        assert_eq!(straight.params().to_json(), resumed.params().to_json());
+    }
+
+    #[test]
+    fn resume_past_the_end_restores_best_weights_without_training() {
+        let (train_set, val_set) = dataset();
+        let noop = Registry::noop();
+        let mut model = small_gnn();
+        let mut last: Option<TrainCheckpoint> = None;
+        let mut sink = |c: &TrainCheckpoint| last = Some(c.clone());
+        let report = train_resumable(
+            &mut model,
+            &train_set,
+            &val_set,
+            &cfg(3),
+            &noop,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+
+        // Resuming with epochs == ckpt.epoch runs zero epochs and must
+        // reproduce the original report and final (best) weights.
+        let ckpt = last.unwrap();
+        let mut fresh = small_gnn();
+        let resumed = train_resumable(
+            &mut fresh,
+            &train_set,
+            &val_set,
+            &cfg(3),
+            &noop,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.train_loss, resumed.train_loss);
+        assert_eq!(report.best_epoch, resumed.best_epoch);
+        assert_eq!(model.params().to_json(), fresh.params().to_json());
+    }
+
+    #[test]
+    fn resume_validation_rejects_mismatches() {
+        let (train_set, val_set) = dataset();
+        let noop = Registry::noop();
+        let mut model = small_gnn();
+        let mut last: Option<TrainCheckpoint> = None;
+        let mut sink = |c: &TrainCheckpoint| last = Some(c.clone());
+        train_resumable(
+            &mut model,
+            &train_set,
+            &val_set,
+            &cfg(1),
+            &noop,
+            None,
+            Some(&mut sink),
+        )
+        .unwrap();
+        let ckpt = last.unwrap();
+
+        // Wrong family.
+        let mut lstm = LstmModel::new(crate::lstm_model::LstmConfig {
+            node_dim: 8,
+            hidden: 8,
+            opcode_embed_dim: 4,
+            ..Default::default()
+        });
+        assert!(matches!(
+            train_resumable(&mut lstm, &train_set, &val_set, &cfg(2), &noop, Some(&ckpt), None),
+            Err(CheckpointError::WrongModel { .. })
+        ));
+
+        // Wrong architecture width.
+        let mut wide = GnnModel::new(GnnConfig {
+            hidden: 16,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        });
+        assert!(matches!(
+            train_resumable(&mut wide, &train_set, &val_set, &cfg(2), &noop, Some(&ckpt), None),
+            Err(CheckpointError::WeightMismatch { .. })
+        ));
+
+        // Corrupt RNG snapshot.
+        let mut bad = ckpt.clone();
+        bad.rng = vec![0; 5];
+        let mut m = small_gnn();
+        assert!(matches!(
+            train_resumable(&mut m, &train_set, &val_set, &cfg(2), &noop, Some(&bad), None),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_loss_rolls_back_and_stops_at_healthy_state() {
+        let (train_set, val_set) = dataset();
+        let registry = Registry::enabled();
+        let mut model = small_gnn();
+        // An infinite learning rate poisons the weights on the first
+        // optimizer step, so every retry diverges too: the guard must
+        // roll back, back off, exhaust its bound, and stop without
+        // panicking or returning NaN weights.
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 2,
+            lr: f32::INFINITY,
+            max_rollbacks: 3,
+            ..Default::default()
+        };
+        let report =
+            train_resumable(&mut model, &train_set, &val_set, &cfg, &registry, None, None)
+                .unwrap();
+
+        let snap = registry.snapshot();
+        let rollbacks = snap.counter("core.train.rollbacks").unwrap_or(0);
+        assert!(rollbacks > 0, "guard never fired");
+        assert!(
+            rollbacks <= cfg.max_rollbacks as u64 + 1,
+            "rollbacks unbounded: {rollbacks}"
+        );
+        // Training stopped early instead of recording poisoned epochs.
+        assert!(report.train_loss.len() < cfg.epochs);
+        // The model was restored to its last healthy (epoch-start) state.
+        for id in model.params().ids() {
+            assert!(
+                model.params().value(id).data().iter().all(|v| v.is_finite()),
+                "non-finite weights survived rollback"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_runs_never_roll_back_and_match_plain_train() {
+        let (train_set, val_set) = dataset();
+        let registry = Registry::enabled();
+        let mut a = small_gnn();
+        let ra = train_resumable(&mut a, &train_set, &val_set, &cfg(3), &registry, None, None)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.train.rollbacks"), Some(0));
+
+        let mut b = small_gnn();
+        let rb = train(&mut b, &train_set, &val_set, &cfg(3));
+        assert_eq!(ra.train_loss, rb.train_loss);
+        assert_eq!(a.params().to_json(), b.params().to_json());
     }
 }
 

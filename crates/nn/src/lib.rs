@@ -42,7 +42,7 @@ pub use layers::{Activation, Embedding, Linear, LstmCell, LstmState, Mlp};
 pub use loss::{
     grouped_pairwise_rank_loss, mse_loss, pairwise_rank_loss, weighted_mse_loss, RankPhi,
 };
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tape::{GradBuffer, GradSink, Tape, Var};
 pub use tensor::{force_reference_matmul, Tensor};

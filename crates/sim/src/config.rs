@@ -1,5 +1,6 @@
 //! TPU v2-class machine configuration.
 
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the simulated accelerator.
@@ -50,6 +51,12 @@ pub struct TpuConfig {
     /// budget (compile + load + harness), ns. The paper's autotuner spends
     /// "most of its time compiling and executing programs on the TPU".
     pub eval_overhead_ns: f64,
+    /// Injected-fault schedule for chaos testing. Defaults to
+    /// [`FaultPlan::none`], under which the device is bit-identical to the
+    /// fault-free simulator. Absent from serialized configs predating fault
+    /// injection, hence `serde(default)`.
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 impl Default for TpuConfig {
@@ -68,6 +75,7 @@ impl Default for TpuConfig {
             mxu_fill_cycles: 128.0,
             noise_sigma: 0.012,
             eval_overhead_ns: 1.5e9,
+            fault: FaultPlan::none(),
         }
     }
 }
