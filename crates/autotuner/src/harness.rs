@@ -19,7 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpace};
 use tpu_hlo::{FusedProgram, Kernel, Program};
-use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache, Predictor};
+use tpu_learned_cost::{AtomicCache, CostModel, FnCostModel, KernelCache, Predictor};
 use tpu_obs::{Counter, Gauge, Histogram, Registry};
 use tpu_sim::{DeviceError, FaultCounts, TpuDevice};
 
@@ -422,10 +422,10 @@ impl BatchObjective for HardwareObjective<'_> {
 /// Holds the predictor by reference so the caller keeps access to the
 /// session's [`PredictStats`](tpu_learned_cost::PredictStats) after the
 /// search consumes the objective.
-pub struct ModelObjective<'a, M: CostModel + ?Sized> {
+pub struct ModelObjective<'a, M: CostModel + ?Sized, C: KernelCache = AtomicCache> {
     program: &'a Program,
     space: &'a FusionSpace,
-    predictor: &'a Predictor<&'a M>,
+    predictor: &'a Predictor<&'a M, C>,
     obs: ModelObs,
 }
 
@@ -453,12 +453,12 @@ impl ModelObs {
     }
 }
 
-impl<'a, M: CostModel + ?Sized> ModelObjective<'a, M> {
+impl<'a, M: CostModel + ?Sized, C: KernelCache> ModelObjective<'a, M, C> {
     pub fn new(
         program: &'a Program,
         space: &'a FusionSpace,
-        predictor: &'a Predictor<&'a M>,
-    ) -> ModelObjective<'a, M> {
+        predictor: &'a Predictor<&'a M, C>,
+    ) -> ModelObjective<'a, M, C> {
         ModelObjective {
             program,
             space,
@@ -469,13 +469,13 @@ impl<'a, M: CostModel + ?Sized> ModelObjective<'a, M> {
 
     /// Record `autotuner.model.*` metrics into `registry`: configs scored
     /// and wall time per batched evaluate call.
-    pub fn observed(mut self, registry: &Registry) -> ModelObjective<'a, M> {
+    pub fn observed(mut self, registry: &Registry) -> ModelObjective<'a, M, C> {
         self.obs = ModelObs::new(registry);
         self
     }
 }
 
-impl<M: CostModel + ?Sized> BatchObjective for ModelObjective<'_, M> {
+impl<M: CostModel + ?Sized, C: KernelCache> BatchObjective for ModelObjective<'_, M, C> {
     fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
         let _timer = self.obs.evaluate_ns.start_timer();
         self.obs.configs.add(configs.len() as u64);
@@ -614,7 +614,7 @@ where
     F: Fn(&tpu_hlo::Kernel) -> f64,
 {
     let model = FnCostModel::new("closure", move |k: &tpu_hlo::Kernel| Some(kernel_cost(k)));
-    let cache = Arc::new(PredictionCache::new());
+    let cache = Arc::new(AtomicCache::serving_default());
     autotune_with_cost_model(program, device, &model, &cache, mode, budgets, seed)
 }
 
@@ -636,11 +636,11 @@ where
 /// The tuned config is bit-identical for any `RAYON_NUM_THREADS` and any
 /// cache pre-warmth; it does depend on `budgets.chains` (different chain
 /// count, different search trajectory).
-pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
+pub fn autotune_with_cost_model<M: CostModel + ?Sized, C: KernelCache>(
     program: &Program,
     device: &TpuDevice,
     model: &M,
-    cache: &Arc<PredictionCache>,
+    cache: &Arc<C>,
     mode: StartMode,
     budgets: &Budgets,
     seed: u64,
@@ -663,11 +663,11 @@ pub fn autotune_with_cost_model<M: CostModel + ?Sized>(
 /// re-rank fills `autotuner.hw.*`. Instrumentation is read-only: the
 /// tuned config is bit-identical whether or not the registry is enabled.
 #[allow(clippy::too_many_arguments)]
-pub fn autotune_with_cost_model_observed<M: CostModel + ?Sized>(
+pub fn autotune_with_cost_model_observed<M: CostModel + ?Sized, C: KernelCache>(
     program: &Program,
     device: &TpuDevice,
     model: &M,
-    cache: &Arc<PredictionCache>,
+    cache: &Arc<C>,
     mode: StartMode,
     budgets: &Budgets,
     seed: u64,
@@ -747,6 +747,11 @@ pub fn speedup_over_default(program: &Program, device: &TpuDevice, tuned: &Tuned
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The tests deliberately run the model phase over the sharded-mutex
+    // reference cache: `autotune_with_cost_model` is generic over
+    // `KernelCache`, and keeping one backend here and the lock-free
+    // default in the binaries exercises both instantiations.
+    use tpu_learned_cost::PredictionCache;
     use tpu_hlo::{DType, GraphBuilder, Shape};
     use tpu_sim::TpuConfig;
 

@@ -24,7 +24,7 @@ use std::time::Instant;
 use tpu_autotuner::{simulated_annealing, ModelObjective, SaConfig, SaResult};
 use tpu_fusion::default_space_and_config;
 use tpu_hlo::{DType, GraphBuilder, Program, Shape};
-use tpu_learned_cost::{GnnConfig, GnnModel, PredictStats, PredictionCache, Predictor};
+use tpu_learned_cost::{AtomicCache, GnnConfig, GnnModel, PredictStats, Predictor};
 
 fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
@@ -58,7 +58,7 @@ struct Run {
 fn anneal(
     program: &Program,
     gnn: &GnnModel,
-    cache: &Arc<PredictionCache>,
+    cache: &Arc<AtomicCache>,
     chains: usize,
     steps: usize,
 ) -> Run {
@@ -90,10 +90,10 @@ fn bench_autotune(_c: &mut Criterion) {
     let (steps, chains) = if smoke() { (100, 4) } else { (2_000, 8) };
 
     // Warm-up: populate code paths, then discard.
-    let _ = anneal(&program, &gnn, &Arc::new(PredictionCache::new()), 1, 20);
+    let _ = anneal(&program, &gnn, &Arc::new(AtomicCache::serving_default()), 1, 20);
 
-    let single = anneal(&program, &gnn, &Arc::new(PredictionCache::new()), 1, steps);
-    let multi = anneal(&program, &gnn, &Arc::new(PredictionCache::new()), chains, steps);
+    let single = anneal(&program, &gnn, &Arc::new(AtomicCache::serving_default()), 1, steps);
+    let multi = anneal(&program, &gnn, &Arc::new(AtomicCache::serving_default()), chains, steps);
     let single_cps = single.result.evals as f64 / single.secs;
     let multi_cps = multi.result.evals as f64 / multi.secs;
     println!(
@@ -114,7 +114,7 @@ fn bench_autotune(_c: &mut Criterion) {
     let uncached = anneal(
         &program,
         &gnn,
-        &Arc::new(PredictionCache::with_capacity(0)),
+        &Arc::new(AtomicCache::with_capacity(0)),
         chains,
         steps,
     );

@@ -23,7 +23,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
-use tpu_learned_cost::{CostModel, FnCostModel, PredictionCache, Predictor};
+use tpu_learned_cost::{AtomicCache, CostModel, FnCostModel, Predictor};
 use tpu_obs::Registry;
 
 fn smoke() -> bool {
@@ -61,9 +61,9 @@ fn bench_obs_overhead(_c: &mut Criterion) {
     let refs: Vec<&Kernel> = ks.iter().collect();
     let model = || FnCostModel::new("bench", |k: &Kernel| Some(k.computation.num_nodes() as f64));
 
-    let noop = Predictor::with_cache(model(), Arc::new(PredictionCache::new()));
+    let noop = Predictor::with_cache(model(), Arc::new(AtomicCache::serving_default()));
     let registry = Registry::enabled();
-    let observed = Predictor::with_cache(model(), Arc::new(PredictionCache::new()))
+    let observed = Predictor::with_cache(model(), Arc::new(AtomicCache::serving_default()))
         .observed(&registry);
 
     // Warm both caches and pin the determinism contract: identical

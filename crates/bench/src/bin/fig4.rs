@@ -27,7 +27,7 @@ use tpu_bench::{
 use tpu_dataset::build_fusion_dataset;
 use tpu_fusion::{apply_fusion, default_space_and_config};
 use tpu_hlo::Program;
-use tpu_learned_cost::{train_observed, GnnModel, PredictionCache};
+use tpu_learned_cost::{train_observed, AtomicCache, GnnModel};
 use tpu_obs::RunReport;
 use tpu_sim::{TpuConfig, TpuDevice};
 
@@ -144,7 +144,7 @@ fn main() {
 
             // One prediction cache per program, shared across repetitions:
             // later repetitions revisit mostly-cached kernels.
-            let cache = Arc::new(PredictionCache::new());
+            let cache = Arc::new(AtomicCache::serving_default());
             let mut hw_runs = Vec::new();
             let mut model_runs = Vec::new();
             for rep_i in 0..reps {

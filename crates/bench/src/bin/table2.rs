@@ -26,7 +26,7 @@ use tpu_dataset::{build_fusion_dataset, Corpus, FusionDataset, KernelExample, Sp
 use tpu_hlo::Kernel;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    prepare, train_observed, GnnModel, KernelModel, LstmModel, PredictionCache, Predictor,
+    prepare, train_observed, AtomicCache, GnnModel, KernelModel, LstmModel, Predictor,
     Prepared, TrainConfig, TrainReport,
 };
 use tpu_obs::{Registry, RunReport};
@@ -251,7 +251,7 @@ fn run_split(
     // model-eval metrics of the serving path (predictions are identical
     // to calling the analytical model per kernel).
     let predictor =
-        Predictor::with_cache(&analytical, Arc::new(PredictionCache::new())).observed(registry);
+        Predictor::with_cache(&analytical, Arc::new(AtomicCache::serving_default())).observed(registry);
     let mut evals = Vec::new();
     for &pi in &split.test {
         let name = corpus.entries[pi].program.name.clone();

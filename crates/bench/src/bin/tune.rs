@@ -27,7 +27,7 @@ use tpu_bench::{
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
 use tpu_learned_cost::{
-    prepare, train_observed, GnnConfig, GnnModel, KernelModel, LstmModel, PredictionCache,
+    prepare, train_observed, AtomicCache, GnnConfig, GnnModel, KernelModel, LstmModel,
     Prepared, Reduction, TaskLoss, TrainConfig, TrainReport,
 };
 use tpu_obs::RunReport;
@@ -262,7 +262,7 @@ fn main() {
         top_k: 8,
         chains: 4,
     };
-    let cache = Arc::new(PredictionCache::new());
+    let cache = Arc::new(AtomicCache::serving_default());
     let device = match fault_seed {
         Some(seed) => TpuDevice::new(42).with_faults(FaultPlan::chaos(seed)),
         None => TpuDevice::new(42),

@@ -69,6 +69,23 @@ impl<M: CostModel + ?Sized> CostModel for &M {
     }
 }
 
+/// A boxed model is a model: lets daemons hold runtime-selected backends
+/// as `Box<dyn CostModel + Send>` and still hand them to [`Predictor`].
+impl<M: CostModel + ?Sized> CostModel for Box<M> {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        (**self).predict_kernel_ns(kernel)
+    }
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        (**self).predict_batch_ns(kernels)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn predict_program_ns(&self, program: &FusedProgram) -> Option<f64> {
+        (**self).predict_program_ns(program)
+    }
+}
+
 impl CostModel for GnnModel {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
         Some(self.predict_ns(kernel))

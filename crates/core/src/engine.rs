@@ -20,6 +20,7 @@
 //! served for the other. Predictions are pure functions of the kernel and
 //! the frozen weights, which is what makes the cache sound.
 
+use crate::atomic_cache::AtomicCache;
 use crate::batch::{GraphBatch, Prepared};
 use crate::cost_model::CostModel;
 use crate::train::KernelModel;
@@ -64,6 +65,51 @@ impl CacheStats {
     }
 }
 
+/// The storage contract behind a [`Predictor`] session: a thread-safe map
+/// from the canonical kernel hash to a cached prediction, with hit /
+/// miss / eviction accounting.
+///
+/// Two implementations ship:
+///
+/// - [`AtomicCache`] — the serving default: fixed-capacity,
+///   open-addressed, lock-free atomic slots with lossy replacement (see
+///   `atomic_cache` module docs for the torn-read defense),
+/// - [`PredictionCache`] — the historical sharded-mutex map: unbounded
+///   or capped, strictly lossless below its capacity. Kept as the
+///   reference implementation the lock-free cache is property-tested
+///   against, and for callers that need exact residency.
+///
+/// The stored value is `Option<f64>` so "this backend cannot score that
+/// kernel" (§6.3 footnote 3) is itself cacheable. Implementations may be
+/// lossy — dropping or replacing entries at will — because predictions
+/// are pure functions of the kernel and the frozen weights; they must
+/// never return a value that was inserted under a *different* hash.
+pub trait KernelCache: Send + Sync {
+    /// Look up by pre-computed hash, counting a hit or miss. The outer
+    /// `Option` is residency; the inner is the cached prediction itself.
+    fn lookup_hash(&self, hash: u64) -> Option<Option<f64>>;
+
+    /// Insert a prediction under a pre-computed hash.
+    fn insert_hash(&self, hash: u64, prediction: Option<f64>);
+
+    /// Number of resident entries.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (counters are kept).
+    fn clear(&self);
+
+    /// Snapshot the counters.
+    fn stats(&self) -> CacheStats;
+
+    /// Evictions so far, without scanning entries.
+    fn eviction_count(&self) -> u64;
+}
+
 /// Thread-safe prediction cache keyed by the canonical kernel hash.
 ///
 /// Stores `Option<f64>` so "this backend cannot score that kernel" (the
@@ -76,8 +122,9 @@ impl CacheStats {
 /// serialising forward passes behind a lock.
 pub struct PredictionCache {
     shards: [Mutex<HashMap<u64, Option<f64>>>; SHARDS],
-    /// Max entries per shard; `None` = unbounded.
-    shard_capacity: Option<usize>,
+    /// Per-shard entry caps; `None` = unbounded. The caps sum to exactly
+    /// the `max_entries` passed to [`PredictionCache::with_capacity`].
+    shard_caps: Option<[usize; SHARDS]>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -102,26 +149,30 @@ impl PredictionCache {
     pub fn new() -> PredictionCache {
         PredictionCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-            shard_capacity: None,
+            shard_caps: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// A cache holding at most roughly `max_entries` predictions; inserting
-    /// beyond that evicts an arbitrary resident entry (counted in
-    /// [`CacheStats::evictions`]). `max_entries == 0` disables storage
-    /// entirely: every lookup misses, which gives cache-sensitive code an
-    /// uncached baseline without a second code path.
+    /// A cache holding at most **exactly** `max_entries` predictions:
+    /// capacity is distributed over the shards so the per-shard caps sum
+    /// to `max_entries` (historically the per-shard cap was rounded *up*,
+    /// so small capacities overshot — `with_capacity(3)` could hold 48
+    /// entries). Inserting into a full shard evicts an arbitrary resident
+    /// entry of that shard, and inserting into a shard with no slots at
+    /// all (`max_entries < SHARDS` leaves some empty) discards the
+    /// incoming entry; both are counted in [`CacheStats::evictions`].
+    /// `max_entries == 0` disables storage entirely — every lookup
+    /// misses, nothing is counted as an eviction — which gives
+    /// cache-sensitive code an uncached baseline without a second code
+    /// path.
     pub fn with_capacity(max_entries: usize) -> PredictionCache {
-        let shard_capacity = if max_entries == 0 {
-            0
-        } else {
-            max_entries.div_ceil(SHARDS)
-        };
+        let base = max_entries / SHARDS;
+        let extra = max_entries % SHARDS;
         PredictionCache {
-            shard_capacity: Some(shard_capacity),
+            shard_caps: Some(std::array::from_fn(|i| base + usize::from(i < extra))),
             ..PredictionCache::new()
         }
     }
@@ -131,8 +182,12 @@ impl PredictionCache {
         canonical_kernel_hash(kernel)
     }
 
+    fn shard_index(hash: u64) -> usize {
+        (hash % SHARDS as u64) as usize
+    }
+
     fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Option<f64>>> {
-        &self.shards[(hash % SHARDS as u64) as usize]
+        &self.shards[PredictionCache::shard_index(hash)]
     }
 
     /// Lock a shard, recovering from mutex poisoning: shard updates are
@@ -158,11 +213,21 @@ impl PredictionCache {
     /// Insert a prediction under a pre-computed hash, evicting if full.
     /// No-op on a zero-capacity cache.
     pub fn insert_hash(&self, hash: u64, prediction: Option<f64>) {
-        if self.shard_capacity == Some(0) {
+        let cap = self.shard_caps.map(|caps| caps[PredictionCache::shard_index(hash)]);
+        if cap == Some(0) {
+            // A shard with no slots. On a zero-capacity cache storage is
+            // simply disabled (the uncached baseline — not eviction
+            // pressure, so nothing is counted); with a nonzero total
+            // capacity the incoming entry is discarded under pressure
+            // and accounted for, keeping `len + evictions` equal to the
+            // number of distinct inserts.
+            if self.shard_caps.is_some_and(|caps| caps.iter().any(|&c| c != 0)) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         let mut map = PredictionCache::lock(self.shard(hash));
-        if let Some(cap) = self.shard_capacity {
+        if let Some(cap) = cap {
             if map.len() >= cap && !map.contains_key(&hash) {
                 if let Some(&victim) = map.keys().next() {
                     map.remove(&victim);
@@ -224,6 +289,51 @@ impl PredictionCache {
     }
 }
 
+impl KernelCache for PredictionCache {
+    fn lookup_hash(&self, hash: u64) -> Option<Option<f64>> {
+        PredictionCache::lookup_hash(self, hash)
+    }
+    fn insert_hash(&self, hash: u64, prediction: Option<f64>) {
+        PredictionCache::insert_hash(self, hash, prediction)
+    }
+    fn len(&self) -> usize {
+        PredictionCache::len(self)
+    }
+    fn clear(&self) {
+        PredictionCache::clear(self)
+    }
+    fn stats(&self) -> CacheStats {
+        PredictionCache::stats(self)
+    }
+    fn eviction_count(&self) -> u64 {
+        PredictionCache::eviction_count(self)
+    }
+}
+
+/// A shared cache handle is a cache: lets serving stacks select the
+/// backend at runtime behind `Arc<dyn KernelCache>` and still satisfy
+/// [`Predictor`]'s `C: KernelCache` bound.
+impl<T: KernelCache + ?Sized> KernelCache for Arc<T> {
+    fn lookup_hash(&self, hash: u64) -> Option<Option<f64>> {
+        (**self).lookup_hash(hash)
+    }
+    fn insert_hash(&self, hash: u64, prediction: Option<f64>) {
+        (**self).insert_hash(hash, prediction)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn clear(&self) {
+        (**self).clear()
+    }
+    fn stats(&self) -> CacheStats {
+        (**self).stats()
+    }
+    fn eviction_count(&self) -> u64 {
+        (**self).eviction_count()
+    }
+}
+
 /// Serving counters for a [`Predictor`]: per call or cumulative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PredictStats {
@@ -274,9 +384,15 @@ impl PredictStats {
 /// (e.g. the autotuner's model phase and the final report) and survive the
 /// session itself. `Predictor` is itself a [`CostModel`], so anything that
 /// consumes the trait gets caching and miss-batching for free.
-pub struct Predictor<M> {
+///
+/// The cache backend is pluggable through [`KernelCache`]; the default is
+/// the lock-free [`AtomicCache`], and [`Predictor::with_cache`] accepts
+/// the sharded-mutex [`PredictionCache`] (or any other implementation)
+/// unchanged. Predictions are bit-identical whichever backend serves
+/// them — a lossy cache only changes *when* the pure model is re-asked.
+pub struct Predictor<M, C: KernelCache = AtomicCache> {
     model: M,
-    cache: Arc<PredictionCache>,
+    cache: Arc<C>,
     name: String,
     kernels: AtomicU64,
     hits: AtomicU64,
@@ -329,13 +445,24 @@ impl EngineObs {
 }
 
 impl<M: CostModel> Predictor<M> {
-    /// A session with a fresh unbounded cache.
+    /// A session with a fresh lock-free cache at the default serving
+    /// capacity ([`AtomicCache::serving_default`]).
     pub fn new(model: M) -> Predictor<M> {
-        Predictor::with_cache(model, Arc::new(PredictionCache::new()))
+        Predictor::with_cache(model, Arc::new(AtomicCache::serving_default()))
     }
 
-    /// A session over a shared (possibly pre-warmed) cache.
-    pub fn with_cache(model: M, cache: Arc<PredictionCache>) -> Predictor<M> {
+    /// A session that never caches (zero-capacity cache): every distinct
+    /// kernel in a call is evaluated fresh. The uncached baseline for
+    /// benchmarks, on the same code path.
+    pub fn uncached(model: M) -> Predictor<M> {
+        Predictor::with_cache(model, Arc::new(AtomicCache::with_capacity(0)))
+    }
+}
+
+impl<M: CostModel, C: KernelCache> Predictor<M, C> {
+    /// A session over a shared (possibly pre-warmed) cache of any
+    /// [`KernelCache`] backend.
+    pub fn with_cache(model: M, cache: Arc<C>) -> Predictor<M, C> {
         let name = format!("cached-{}", model.name());
         Predictor {
             model,
@@ -353,16 +480,9 @@ impl<M: CostModel> Predictor<M> {
     /// miss-batch sizes, and per-call / per-forward latencies are recorded
     /// under `core.engine.*`. With the default no-op registry this is a
     /// no-op; instrumentation never changes predictions.
-    pub fn observed(mut self, registry: &Registry) -> Predictor<M> {
+    pub fn observed(mut self, registry: &Registry) -> Predictor<M, C> {
         self.obs = EngineObs::new(registry);
         self
-    }
-
-    /// A session that never caches (zero-capacity cache): every distinct
-    /// kernel in a call is evaluated fresh. The uncached baseline for
-    /// benchmarks, on the same code path.
-    pub fn uncached(model: M) -> Predictor<M> {
-        Predictor::with_cache(model, Arc::new(PredictionCache::with_capacity(0)))
     }
 
     /// The wrapped model.
@@ -371,7 +491,7 @@ impl<M: CostModel> Predictor<M> {
     }
 
     /// The cache (sharable via clone of the [`Arc`]).
-    pub fn cache(&self) -> &Arc<PredictionCache> {
+    pub fn cache(&self) -> &Arc<C> {
         &self.cache
     }
 
@@ -487,7 +607,7 @@ impl<M: CostModel> Predictor<M> {
     }
 }
 
-impl<M: CostModel> CostModel for Predictor<M> {
+impl<M: CostModel, C: KernelCache> CostModel for Predictor<M, C> {
     fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
         // INVARIANT: predict_ns_refs returns one slot per input kernel.
         self.predict_ns_refs(&[kernel]).0.pop().expect("one prediction per kernel")

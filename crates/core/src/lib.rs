@@ -19,10 +19,13 @@
 //! - [`CostModel`]: one batch-first interface over learned/analytical/
 //!   simulator backends, making the model retargetable across compiler
 //!   tasks — `predict_batch_ns` is the primary serving surface,
-//! - [`Predictor`] / [`PredictionCache`]: the inference engine — a serving
-//!   session that answers what it can from the canonical-hash cache and
-//!   presents the distinct misses to the backend as one packed forward
-//!   pass, for serving the model inside an autotuner (§6.3).
+//! - [`Predictor`] / [`AtomicCache`] / [`PredictionCache`]: the inference
+//!   engine — a serving session that answers what it can from the
+//!   canonical-hash cache (by default the lock-free fixed-capacity
+//!   [`AtomicCache`]; the sharded-mutex [`PredictionCache`] remains as
+//!   the lossless reference backend behind the [`KernelCache`] trait)
+//!   and presents the distinct misses to the backend as one packed
+//!   forward pass, for serving the model inside an autotuner (§6.3).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 pub mod features;
 pub mod metrics;
 
+mod atomic_cache;
 mod batch;
 mod bundle;
 mod checkpoint;
@@ -52,12 +56,13 @@ mod lstm_model;
 mod model;
 mod train;
 
+pub use atomic_cache::AtomicCache;
 pub use batch::{GraphBatch, Prepared, Sample};
 pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm, BundleError};
 pub use checkpoint::{CheckpointError, TrainCheckpoint, SCHEMA as CHECKPOINT_SCHEMA};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
 pub use engine::{
-    forward_log_ns, forward_log_ns_chunked, CacheStats, FallbackChain, PredictStats,
+    forward_log_ns, forward_log_ns_chunked, CacheStats, FallbackChain, KernelCache, PredictStats,
     PredictionCache, Predictor,
 };
 pub use lstm_model::{LstmConfig, LstmModel};

@@ -1,0 +1,268 @@
+//! The `tpu-serve` daemon and its load generator.
+//!
+//! Serve mode (default): answer newline-delimited JSON requests over
+//! stdin/stdout, or over TCP with `--tcp ADDR`.
+//!
+//! ```text
+//! tpu-serve [--tcp ADDR] [--model sim|analytical|gnn] [--bundle PATH]
+//!           [--faults SEED] [--runs N] [--cache-slots N] [--mutex-cache]
+//!           [--max-pending N] [--batch-max N] [--eval-budget N]
+//! ```
+//!
+//! The served model is always wrapped in a `FallbackChain` whose secondary
+//! is the simulator oracle, so a fault-injected primary (`--faults`) still
+//! answers every request with a finite prediction.
+//!
+//! Drive mode: a load generator for CI smoke and benches.
+//!
+//! ```text
+//! tpu-serve drive ADDR [--clients N] [--requests N] [--distinct K] [--shutdown]
+//! ```
+//!
+//! Drives `--requests` total predict requests from `--clients` concurrent
+//! TCP connections over a pool of `--distinct` kernels, then prints a
+//! one-line JSON summary (p50/p99 latency in microseconds, throughput in
+//! requests/s) and exits nonzero if any request failed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tpu_learned_cost::{
+    load_gnn, AtomicCache, CostModel, FallbackChain, KernelCache, PredictionCache, SimOracle,
+};
+use tpu_obs::Registry;
+use tpu_serve::{
+    demo_kernels, percentile, protocol, serve_ndjson, serve_tcp, AnalyticalCost, DeviceModel,
+    ServeConfig, ServeEngine,
+};
+use tpu_sim::{TpuConfig, TpuDevice};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("invalid value for {name}: {v:?}"))),
+        None => default,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tpu-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn build_model(args: &[String]) -> Box<dyn CostModel + Send> {
+    let cfg = TpuConfig::default();
+    let primary: Box<dyn CostModel + Send> = match flag_value(args, "--faults") {
+        Some(seed) => {
+            let seed = seed
+                .parse()
+                .unwrap_or_else(|_| die("--faults takes an integer seed"));
+            let runs = flag_parse(args, "--runs", 2usize);
+            Box::new(DeviceModel::new(
+                TpuDevice::new(seed).with_faults(tpu_sim::FaultPlan::chaos(seed)),
+                runs,
+            ))
+        }
+        None => match flag_value(args, "--model").as_deref().unwrap_or("sim") {
+            "sim" => Box::new(SimOracle::new(cfg.clone())),
+            "analytical" => Box::new(AnalyticalCost::new(cfg.clone())),
+            "gnn" => {
+                let path = flag_value(args, "--bundle")
+                    .unwrap_or_else(|| die("--model gnn requires --bundle PATH"));
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+                Box::new(load_gnn(&json).unwrap_or_else(|e| die(&format!("{e:?}"))))
+            }
+            other => die(&format!("unknown model {other:?} (sim|analytical|gnn)")),
+        },
+    };
+    // The fallback keeps fault-injected or partial primaries total: any
+    // kernel the primary cannot score is answered by the oracle.
+    Box::new(FallbackChain::new(primary, SimOracle::new(cfg)))
+}
+
+fn build_cache(args: &[String]) -> Arc<dyn KernelCache> {
+    let slots = flag_parse(args, "--cache-slots", 1usize << 16);
+    if args.iter().any(|a| a == "--mutex-cache") {
+        Arc::new(PredictionCache::with_capacity(slots))
+    } else {
+        Arc::new(AtomicCache::with_capacity(slots))
+    }
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let cfg = ServeConfig {
+        batch_max: flag_parse(args, "--batch-max", 64),
+        max_pending: flag_parse(args, "--max-pending", 1024),
+        eval_budget: flag_value(args, "--eval-budget")
+            .map(|v| v.parse().unwrap_or_else(|_| die("--eval-budget takes an integer"))),
+    };
+    let engine = Arc::new(ServeEngine::start(
+        build_model(args),
+        build_cache(args),
+        cfg,
+        &Registry::enabled(),
+    ));
+    let result = match flag_value(args, "--tcp") {
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+            // Report the bound address (useful with port 0) before serving.
+            if let Ok(local) = listener.local_addr() {
+                eprintln!("tpu-serve: listening on {local}");
+            }
+            serve_tcp(&engine, listener)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_ndjson(&engine, stdin.lock(), stdout.lock()).map(|_| ())
+        }
+    };
+    engine.shutdown();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tpu-serve: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<f64>,
+    errors: usize,
+}
+
+fn drive_client(addr: &str, kernels: &[tpu_hlo::Kernel], count: usize) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_us: Vec::with_capacity(count),
+        errors: 0,
+    };
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            outcome.errors = count;
+            return outcome;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            outcome.errors = count;
+            return outcome;
+        }
+    });
+    let mut writer = stream;
+    let mut reply = String::new();
+    for i in 0..count {
+        let kernel = &kernels[i % kernels.len()];
+        let line = protocol::predict_request_line(i as u64, kernel);
+        let started = Instant::now();
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_ok()
+            && {
+                reply.clear();
+                reader.read_line(&mut reply).map(|n| n > 0).unwrap_or(false)
+            };
+        let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+        if ok && reply.contains("\"ok\":true") {
+            outcome.latencies_us.push(elapsed_us);
+        } else {
+            outcome.errors += 1;
+        }
+    }
+    outcome
+}
+
+fn run_drive(args: &[String]) -> ExitCode {
+    let addr = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| die("drive requires an ADDR argument"))
+        .clone();
+    let clients = flag_parse(args, "--clients", 8usize).max(1);
+    let total = flag_parse(args, "--requests", 100usize).max(1);
+    let distinct = flag_parse(args, "--distinct", 16usize).max(1);
+    let kernels = Arc::new(demo_kernels(distinct));
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            // Split `total` across clients, front-loading the remainder.
+            let share = total / clients + usize::from(c < total % clients);
+            let addr = addr.clone();
+            let kernels = Arc::clone(&kernels);
+            std::thread::spawn(move || drive_client(&addr, &kernels, share))
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(total);
+    let mut errors = 0;
+    for handle in handles {
+        match handle.join() {
+            Ok(outcome) => {
+                latencies.extend(outcome.latencies_us);
+                errors += outcome.errors;
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if args.iter().any(|a| a == "--shutdown") {
+        if let Ok(mut stream) = TcpStream::connect(&addr) {
+            let line = protocol::simple_request_line("shutdown", u64::MAX);
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+            let mut reply = String::new();
+            let _ = BufReader::new(stream).read_line(&mut reply);
+        }
+    }
+
+    let answered = latencies.len();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let throughput = answered as f64 / elapsed.max(1e-9);
+    println!(
+        "{{\"clients\":{clients},\"requests\":{total},\"answered\":{answered},\
+         \"errors\":{errors},\"p50_us\":{p50:.1},\"p99_us\":{p99:.1},\
+         \"throughput_rps\":{throughput:.1}}}"
+    );
+    if errors == 0 && answered == total && p50.is_finite() && p99.is_finite() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: tpu-serve [--tcp ADDR] [--model sim|analytical|gnn] [--bundle PATH]\n\
+             \x20                [--faults SEED] [--runs N] [--cache-slots N] [--mutex-cache]\n\
+             \x20                [--max-pending N] [--batch-max N] [--eval-budget N]\n\
+             \x20      tpu-serve drive ADDR [--clients N] [--requests N] [--distinct K] [--shutdown]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    match args.first().map(String::as_str) {
+        Some("drive") => run_drive(&args[1..]),
+        _ => run_serve(&args),
+    }
+}

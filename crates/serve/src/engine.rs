@@ -1,0 +1,326 @@
+//! The serving engine: a worker thread that batches concurrent requests
+//! into single [`Predictor::predict_ns`] calls.
+//!
+//! Frontends (`stdin`, TCP client threads) call [`ServeEngine::submit`];
+//! the worker drains everything queued since its last batch and answers
+//! it with one predictor call, so concurrent clients share forward
+//! passes and cache probes. Admission control bounds the queue: past
+//! `max_pending` in-flight requests, `submit` fails fast with
+//! [`ServeError::Overloaded`] instead of stacking latency. An optional
+//! model-evaluation budget turns the daemon cache-only once spent —
+//! cache hits keep being served, misses get [`ServeError::BudgetExhausted`]
+//! (the budget can overshoot by at most one batch, since a batch is
+//! committed as a unit).
+//!
+//! The worker owns the model (`Box<dyn CostModel + Send>` — backends like
+//! a fault-injected device are `Send` but not `Sync`), which also makes
+//! request-order execution deterministic: the same serial request stream
+//! against the same seed replays bit-identically.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tpu_hlo::{canonical_kernel_hash, Kernel};
+use tpu_learned_cost::{CostModel, KernelCache, PredictStats, Predictor};
+use tpu_obs::Registry;
+
+/// Why a request was not answered with a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: too many requests already in flight.
+    Overloaded,
+    /// The model-evaluation budget is spent and the kernel missed the cache.
+    BudgetExhausted,
+    /// The engine is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable wire code for the error reply.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::BudgetExhausted => "budget",
+            ServeError::ShuttingDown => "shutdown",
+        }
+    }
+
+    /// Human-readable detail for the error reply.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "too many requests in flight; retry later",
+            ServeError::BudgetExhausted => {
+                "model evaluation budget exhausted and kernel not cached"
+            }
+            ServeError::ShuttingDown => "daemon is shutting down",
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Most kernels answered by one predictor call.
+    pub batch_max: usize,
+    /// Admission-control bound on in-flight requests.
+    pub max_pending: usize,
+    /// Model evaluations allowed before the daemon turns cache-only.
+    pub eval_budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_max: 64,
+            max_pending: 1024,
+            eval_budget: None,
+        }
+    }
+}
+
+/// Cumulative serving counters, for `stats` replies and run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests offered to `submit` (including rejected ones).
+    pub submitted: u64,
+    /// Requests answered with a prediction (`ns` or `null`).
+    pub answered: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests refused because the evaluation budget was spent.
+    pub budget_denied: u64,
+    /// Predictor batches executed.
+    pub batches: u64,
+    /// Predictor counters mirrored after each batch.
+    pub predict: PredictStats,
+    /// Cache residency after the last batch.
+    pub cache_entries: usize,
+    /// Cache evictions after the last batch.
+    pub cache_evictions: u64,
+}
+
+struct Job {
+    kernel: Kernel,
+    reply: SyncSender<Result<Option<f64>, ServeError>>,
+}
+
+/// Shared between `submit` callers, the worker, and stats readers.
+struct Shared {
+    pending: AtomicUsize,
+    max_pending: usize,
+    submitted: AtomicU64,
+    answered: AtomicU64,
+    rejected: AtomicU64,
+    budget_denied: AtomicU64,
+    batches: AtomicU64,
+    // PredictStats mirror, refreshed by the worker after every batch (the
+    // predictor itself lives on the worker thread and is not `Sync`).
+    kernels: AtomicU64,
+    cache_hits: AtomicU64,
+    model_evals: AtomicU64,
+    model_batches: AtomicU64,
+    cache_entries: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+impl Shared {
+    fn new(max_pending: usize) -> Shared {
+        Shared {
+            pending: AtomicUsize::new(0),
+            max_pending,
+            submitted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            budget_denied: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            kernels: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            model_evals: AtomicU64::new(0),
+            model_batches: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A running serving engine; see the module docs for the design.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Spawn the worker thread over `model` and `cache`.
+    ///
+    /// The cache is taken as `Arc<dyn KernelCache>` so callers pick the
+    /// backend (atomic vs. sharded-mutex) at runtime; metrics go to
+    /// `registry` through the predictor's usual `core.cache.*` surface.
+    pub fn start(
+        model: Box<dyn CostModel + Send>,
+        cache: Arc<dyn KernelCache>,
+        cfg: ServeConfig,
+        registry: &Registry,
+    ) -> ServeEngine {
+        let shared = Arc::new(Shared::new(cfg.max_pending));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let worker_shared = Arc::clone(&shared);
+        let registry = registry.clone();
+        let batch_max = cfg.batch_max.max(1);
+        let budget = cfg.eval_budget;
+        let worker = std::thread::Builder::new()
+            .name("tpu-serve-worker".to_string())
+            .spawn(move || {
+                let predictor = Predictor::with_cache(model, Arc::new(cache)).observed(&registry);
+                worker_loop(&predictor, &rx, &worker_shared, batch_max, budget);
+            })
+            .expect("spawn serve worker");
+        ServeEngine {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Submit one kernel and block until the worker answers it.
+    ///
+    /// Concurrent callers are batched by the worker; this returns the
+    /// prediction exactly as `Predictor::predict_ns` would produce it.
+    pub fn submit(&self, kernel: Kernel) -> Result<Option<f64>, ServeError> {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.shared.pending.fetch_add(1, Ordering::SeqCst) >= self.shared.max_pending {
+            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        }
+        let tx = match &*self.tx.lock().expect("serve tx lock") {
+            Some(tx) => tx.clone(),
+            None => {
+                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                return Err(ServeError::ShuttingDown);
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        if tx
+            .send(Job {
+                kernel,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::ShuttingDown);
+        }
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared;
+        ServeStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            answered: s.answered.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            budget_denied: s.budget_denied.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            predict: PredictStats {
+                kernels: s.kernels.load(Ordering::Relaxed),
+                cache_hits: s.cache_hits.load(Ordering::Relaxed),
+                model_evals: s.model_evals.load(Ordering::Relaxed),
+                model_batches: s.model_batches.load(Ordering::Relaxed),
+            },
+            cache_entries: s.cache_entries.load(Ordering::Relaxed) as usize,
+            cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting work, drain the queue, join the
+    /// worker. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        let tx = self.tx.lock().expect("serve tx lock").take();
+        drop(tx);
+        let worker = self.worker.lock().expect("serve worker lock").take();
+        if let Some(handle) = worker {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<M: CostModel, C: KernelCache>(
+    predictor: &Predictor<M, C>,
+    rx: &Receiver<Job>,
+    shared: &Shared,
+    batch_max: usize,
+    budget: Option<u64>,
+) {
+    loop {
+        // Block for the first job, then drain whatever else queued while
+        // the previous batch ran — natural batching with zero added wait.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: drained, exit
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+
+        let within_budget = budget.is_none_or(|b| predictor.stats().model_evals < b);
+        let (kernels, replies): (Vec<Kernel>, Vec<_>) =
+            jobs.into_iter().map(|j| (j.kernel, j.reply)).unzip();
+        let results: Vec<Result<Option<f64>, ServeError>> = if within_budget {
+            predictor.predict_ns(&kernels).into_iter().map(Ok).collect()
+        } else {
+            // Budget spent: serve what the cache already knows, deny the rest.
+            kernels
+                .iter()
+                .map(|k| {
+                    match predictor.cache().lookup_hash(canonical_kernel_hash(k)) {
+                        Some(cached) => Ok(cached),
+                        None => Err(ServeError::BudgetExhausted),
+                    }
+                })
+                .collect()
+        };
+
+        let stats = predictor.stats();
+        shared.kernels.store(stats.kernels, Ordering::Relaxed);
+        shared.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
+        shared.model_evals.store(stats.model_evals, Ordering::Relaxed);
+        shared
+            .model_batches
+            .store(stats.model_batches, Ordering::Relaxed);
+        shared
+            .cache_entries
+            .store(predictor.cache().len() as u64, Ordering::Relaxed);
+        shared
+            .cache_evictions
+            .store(predictor.cache().eviction_count(), Ordering::Relaxed);
+
+        for (reply, result) in replies.into_iter().zip(results) {
+            if matches!(result, Err(ServeError::BudgetExhausted)) {
+                shared.budget_denied.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.answered.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            // A client that hung up loses its answer; that is its problem.
+            let _ = reply.send(result);
+        }
+    }
+}

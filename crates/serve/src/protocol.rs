@@ -1,0 +1,392 @@
+//! The `tpu-serve` wire protocol: newline-delimited JSON.
+//!
+//! Each request is one JSON object on one line; each reply is one JSON
+//! object on one line, in request order. The schema is deliberately small:
+//!
+//! ```json
+//! {"op":"predict","id":1,"kernel":{"text":"computation ...","kind":"loop_fusion","tile":[8,128]}}
+//! {"op":"stats","id":2}
+//! {"op":"ping","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! Replies echo the request `id` and carry `"ok":true` with the payload
+//! (`ns` for predictions — a float, or `null` when no backend can score
+//! the kernel), or `"ok":false` with an `error` object:
+//!
+//! ```json
+//! {"id":1,"ok":true,"ns":10642.5}
+//! {"id":9,"ok":false,"error":{"code":"overloaded","message":"..."}}
+//! ```
+//!
+//! Error codes: `parse` (line is not valid JSON), `bad_request` (JSON is
+//! valid but the fields are not), `hlo` (the kernel text does not parse),
+//! `overloaded` (admission control rejected the request), `budget` (the
+//! model-evaluation budget is spent and the kernel missed the cache), and
+//! `shutdown` (the engine is draining).
+//!
+//! Replies are built directly as [`serde::Value`] trees and printed with
+//! [`serde_json::to_string`], so the byte layout is deterministic — the
+//! golden test in `tests/serve_protocol.rs` pins it.
+
+use serde::Value;
+use tpu_hlo::{dump_computation, parse_computation, Kernel, KernelKind, TileSize};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score one kernel.
+    Predict { id: u64, spec: KernelSpec },
+    /// Report serving counters.
+    Stats { id: u64 },
+    /// Liveness check.
+    Ping { id: u64 },
+    /// Ask the daemon to drain and exit.
+    Shutdown { id: u64 },
+}
+
+impl Request {
+    /// The request id, echoed in every reply.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Predict { id, .. }
+            | Request::Stats { id }
+            | Request::Ping { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// The kernel payload of a predict request: HLO text plus optional
+/// kind override and tile size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// HLO text, as produced by [`dump_computation`].
+    pub text: String,
+    /// Kernel kind; when absent the kind is re-classified from the text.
+    pub kind: Option<KernelKind>,
+    /// Tile extents, minor-most first.
+    pub tile: Option<Vec<usize>>,
+}
+
+impl KernelSpec {
+    /// Capture a kernel as a wire spec (inverse of [`KernelSpec::to_kernel`]).
+    pub fn from_kernel(kernel: &Kernel) -> KernelSpec {
+        KernelSpec {
+            text: dump_computation(&kernel.computation),
+            kind: Some(kernel.kind),
+            tile: kernel.tile.as_ref().map(|t| t.dims().to_vec()),
+        }
+    }
+
+    /// Materialize the kernel, parsing the HLO text.
+    pub fn to_kernel(&self) -> Result<Kernel, String> {
+        let computation = parse_computation(&self.text).map_err(|e| e.to_string())?;
+        let mut kernel = Kernel::new(computation);
+        if let Some(kind) = self.kind {
+            kernel.kind = kind;
+        }
+        if let Some(tile) = &self.tile {
+            kernel = kernel.with_tile(TileSize(tile.clone()));
+        }
+        Ok(kernel)
+    }
+}
+
+/// A protocol-level failure: everything needed to build the error reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Request id, when it could be recovered from the line.
+    pub id: Option<u64>,
+    /// Stable machine-readable code (see module docs).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    fn bad_request(id: Option<u64>, message: impl Into<String>) -> WireError {
+        WireError {
+            id,
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+}
+
+/// Wire name of a [`KernelKind`].
+pub fn kind_name(kind: KernelKind) -> &'static str {
+    match kind {
+        KernelKind::Single => "single",
+        KernelKind::LoopFusion => "loop_fusion",
+        KernelKind::InputFusion => "input_fusion",
+        KernelKind::OutputFusion => "output_fusion",
+        KernelKind::Convolution => "convolution",
+    }
+}
+
+fn parse_kind(name: &str) -> Option<KernelKind> {
+    Some(match name {
+        "single" => KernelKind::Single,
+        "loop_fusion" => KernelKind::LoopFusion,
+        "input_fusion" => KernelKind::InputFusion,
+        "output_fusion" => KernelKind::OutputFusion,
+        "convolution" => KernelKind::Convolution,
+        _ => return None,
+    })
+}
+
+fn field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    serde::get_field(fields, key)
+}
+
+fn parse_id(fields: &[(String, Value)]) -> Result<u64, WireError> {
+    match field(fields, "id") {
+        Some(v) => match v.as_int() {
+            Some(n) if n >= 0 && n <= u64::MAX as i128 => Ok(n as u64),
+            _ => Err(WireError::bad_request(None, "\"id\" must be a non-negative integer")),
+        },
+        None => Err(WireError::bad_request(None, "missing \"id\" field")),
+    }
+}
+
+/// Parse one request line.
+///
+/// On failure the returned [`WireError`] carries the request id when the
+/// line was at least well-formed enough to recover it, so the error reply
+/// can still be correlated by the client.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let value = serde_json::parse_value_str(line).map_err(|e| WireError {
+        id: None,
+        code: "parse",
+        message: format!("invalid JSON: {e}"),
+    })?;
+    let fields = value.as_object().ok_or_else(|| {
+        WireError::bad_request(None, "request must be a JSON object")
+    })?;
+    let id = parse_id(fields)?;
+    let op = field(fields, "op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::bad_request(Some(id), "missing or non-string \"op\" field"))?;
+    match op {
+        "stats" => Ok(Request::Stats { id }),
+        "ping" => Ok(Request::Ping { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "predict" => {
+            let kernel = field(fields, "kernel")
+                .and_then(Value::as_object)
+                .ok_or_else(|| {
+                    WireError::bad_request(Some(id), "predict requires a \"kernel\" object")
+                })?;
+            let text = field(kernel, "text")
+                .and_then(Value::as_str)
+                .ok_or_else(|| {
+                    WireError::bad_request(Some(id), "kernel requires a string \"text\" field")
+                })?
+                .to_string();
+            let kind = match field(kernel, "kind") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    let name = v.as_str().ok_or_else(|| {
+                        WireError::bad_request(Some(id), "kernel \"kind\" must be a string")
+                    })?;
+                    Some(parse_kind(name).ok_or_else(|| {
+                        WireError::bad_request(Some(id), format!("unknown kernel kind {name:?}"))
+                    })?)
+                }
+            };
+            let tile = match field(kernel, "tile") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    let dims = v.as_array().ok_or_else(|| {
+                        WireError::bad_request(Some(id), "kernel \"tile\" must be an array")
+                    })?;
+                    let mut extents = Vec::with_capacity(dims.len());
+                    for d in dims {
+                        match d.as_int() {
+                            Some(n) if n > 0 => extents.push(n as usize),
+                            _ => {
+                                return Err(WireError::bad_request(
+                                    Some(id),
+                                    "tile extents must be positive integers",
+                                ))
+                            }
+                        }
+                    }
+                    Some(extents)
+                }
+            };
+            Ok(Request::Predict {
+                id,
+                spec: KernelSpec { text, kind, tile },
+            })
+        }
+        other => Err(WireError::bad_request(Some(id), format!("unknown op {other:?}"))),
+    }
+}
+
+fn render(value: &Value) -> String {
+    serde_json::value_to_string(value)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Build a predict request line (used by the load generator and tests).
+pub fn predict_request_line(id: u64, kernel: &Kernel) -> String {
+    let spec = KernelSpec::from_kernel(kernel);
+    let mut k = vec![("text", Value::Str(spec.text))];
+    if let Some(kind) = spec.kind {
+        k.push(("kind", Value::Str(kind_name(kind).to_string())));
+    }
+    if let Some(tile) = spec.tile {
+        k.push((
+            "tile",
+            Value::Array(tile.into_iter().map(|d| Value::UInt(d as u64)).collect()),
+        ));
+    }
+    render(&obj(vec![
+        ("op", Value::Str("predict".to_string())),
+        ("id", Value::UInt(id)),
+        ("kernel", obj(k)),
+    ]))
+}
+
+/// Build a request line for an argument-free op (`stats`/`ping`/`shutdown`).
+pub fn simple_request_line(op: &str, id: u64) -> String {
+    render(&obj(vec![
+        ("op", Value::Str(op.to_string())),
+        ("id", Value::UInt(id)),
+    ]))
+}
+
+/// Successful predict reply.
+pub fn predict_reply(id: u64, ns: Option<f64>) -> String {
+    let ns = match ns {
+        Some(x) => Value::Float(x),
+        None => Value::Null,
+    };
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(true)),
+        ("ns", ns),
+    ]))
+}
+
+/// Ping reply.
+pub fn ping_reply(id: u64) -> String {
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(true)),
+        ("pong", Value::Bool(true)),
+    ]))
+}
+
+/// Shutdown acknowledgement.
+pub fn shutdown_reply(id: u64) -> String {
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(true)),
+        ("shutdown", Value::Bool(true)),
+    ]))
+}
+
+/// Stats reply over a [`ServeStats`](crate::ServeStats) snapshot.
+pub fn stats_reply(id: u64, stats: &crate::ServeStats) -> String {
+    let body = obj(vec![
+        ("submitted", Value::UInt(stats.submitted)),
+        ("answered", Value::UInt(stats.answered)),
+        ("rejected", Value::UInt(stats.rejected)),
+        ("budget_denied", Value::UInt(stats.budget_denied)),
+        ("batches", Value::UInt(stats.batches)),
+        ("kernels", Value::UInt(stats.predict.kernels)),
+        ("cache_hits", Value::UInt(stats.predict.cache_hits)),
+        ("model_evals", Value::UInt(stats.predict.model_evals)),
+        ("model_batches", Value::UInt(stats.predict.model_batches)),
+        ("cache_entries", Value::UInt(stats.cache_entries as u64)),
+        ("cache_evictions", Value::UInt(stats.cache_evictions)),
+    ]);
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(true)),
+        ("stats", body),
+    ]))
+}
+
+/// Error reply; `id` is `null` when it could not be recovered.
+pub fn error_reply(id: Option<u64>, code: &str, message: &str) -> String {
+    let id = match id {
+        Some(id) => Value::UInt(id),
+        None => Value::Null,
+    };
+    render(&obj(vec![
+        ("id", id),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Value::Str(code.to_string())),
+                ("message", Value::Str(message.to_string())),
+            ]),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    fn demo_kernel() -> Kernel {
+        let mut b = GraphBuilder::new("proto_demo");
+        let x = b.parameter("x", Shape::matrix(64, 128), DType::F32);
+        let t = b.tanh(x);
+        Kernel::new(b.finish(t)).with_tile(TileSize(vec![8, 128]))
+    }
+
+    #[test]
+    fn predict_request_round_trips() {
+        let kernel = demo_kernel();
+        let line = predict_request_line(7, &kernel);
+        let parsed = parse_request(&line).expect("round trip parses");
+        match parsed {
+            Request::Predict { id, spec } => {
+                assert_eq!(id, 7);
+                let back = spec.to_kernel().expect("kernel parses");
+                assert_eq!(
+                    tpu_hlo::canonical_kernel_hash(&back),
+                    tpu_hlo::canonical_kernel_hash(&kernel),
+                );
+                assert_eq!(back.kind, kernel.kind);
+                assert_eq!(back.tile, kernel.tile);
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_keep_recoverable_ids() {
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.code, "parse");
+        assert_eq!(err.id, None);
+
+        let err = parse_request("{\"op\":\"predict\",\"id\":3}").unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(err.id, Some(3));
+
+        let err = parse_request("{\"op\":\"warble\",\"id\":4}").unwrap_err();
+        assert_eq!(err.id, Some(4));
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        for (op, want) in [
+            ("stats", Request::Stats { id: 2 }),
+            ("ping", Request::Ping { id: 2 }),
+            ("shutdown", Request::Shutdown { id: 2 }),
+        ] {
+            assert_eq!(parse_request(&simple_request_line(op, 2)).unwrap(), want);
+        }
+    }
+}

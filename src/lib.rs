@@ -14,7 +14,8 @@
 //! - [`tile`] — tile-size enumeration and selection,
 //! - [`autotuner`] — the simulated-annealing fusion autotuner,
 //! - [`obs`] — metrics registry, scoped timers, and structured run reports,
-//! - [`dataset`] — the synthetic program corpus and dataset pipelines.
+//! - [`dataset`] — the synthetic program corpus and dataset pipelines,
+//! - [`serve`] — the `tpu-serve` NDJSON prediction daemon.
 //!
 //! # Example
 //!
@@ -37,5 +38,6 @@ pub use tpu_hlo as hlo;
 pub use tpu_learned_cost as learned;
 pub use tpu_nn as nn;
 pub use tpu_obs as obs;
+pub use tpu_serve as serve;
 pub use tpu_sim as sim;
 pub use tpu_tile as tile;

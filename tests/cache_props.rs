@@ -1,24 +1,24 @@
-//! Property-based tests for the [`PredictionCache`] and the serving
-//! invariants of [`Predictor`] built on top of it.
+//! Property-based tests for the prediction caches — the lossless
+//! sharded-mutex [`PredictionCache`] and the lossy lock-free
+//! [`AtomicCache`] — and the serving invariants of [`Predictor`] built
+//! on top of either.
 //!
 //! The cache is the correctness linchpin of the serving engine: a lost
 //! entry silently re-runs the model (wrong perf), a corrupted entry
 //! silently returns the wrong prediction (wrong results), and a broken
 //! capacity bound turns long autotuning runs into a memory leak. These
 //! properties pin all three under randomized keys, values, insertion
-//! orders, and capacities.
+//! orders, and capacities. For the atomic cache the lossy contract is
+//! pinned instead: hits are always bit-faithful, residency never exceeds
+//! the slot count, and a `Predictor` produces identical predictions and
+//! exact accounting over either backend.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tpu_repro::hlo::{DType, GraphBuilder, Kernel, Shape};
-use tpu_repro::learned::{FnCostModel, PredictionCache, Predictor};
-
-/// Mirrors the (private) shard count in `crates/core/src/engine.rs`: the
-/// capacity bound below is `div_ceil(max, SHARDS) * SHARDS`. If the shard
-/// count changes, the bound here must change with it.
-const SHARDS: usize = 16;
+use tpu_repro::learned::{AtomicCache, FnCostModel, PredictionCache, Predictor};
 
 /// Random (key, value) pairs with distinct keys; values may be `None`
 /// (a kernel the backend cannot score is itself a cacheable answer).
@@ -52,10 +52,11 @@ proptest! {
         prop_assert_eq!(stats.evictions, 0);
     }
 
-    /// Bounded cache: residency never exceeds the rounded-up capacity
-    /// (`div_ceil(max, SHARDS)` per shard), every distinct key inserted is
-    /// either resident or accounted for as an eviction, and re-inserting a
-    /// resident key never evicts.
+    /// Bounded cache: residency never exceeds `max_entries` *exactly*
+    /// (per-shard capacities sum to the requested bound; small values no
+    /// longer overshoot from per-shard round-up), every distinct key
+    /// inserted is either resident or accounted for as an eviction, and
+    /// re-inserting a resident key never evicts.
     #[test]
     fn bounded_cache_conserves_entries(
         entries in arb_entries(),
@@ -65,8 +66,7 @@ proptest! {
         for &(k, v) in &entries {
             cache.insert_hash(k, v);
         }
-        let cap_bound = max.div_ceil(SHARDS) * SHARDS;
-        prop_assert!(cache.len() <= cap_bound, "{} > {}", cache.len(), cap_bound);
+        prop_assert!(cache.len() <= max, "{} > {}", cache.len(), max);
         // Conservation: distinct inserts = resident + evicted.
         prop_assert_eq!(
             cache.len() as u64 + cache.eviction_count(),
@@ -167,5 +167,95 @@ proptest! {
             prop_assert_eq!(a, b);
         }
         prop_assert_eq!(predictor.cache().len(), n_kernels);
+    }
+
+    /// Atomic cache under a bounded capacity: residency never exceeds the
+    /// slot count, no matter how many distinct keys are inserted, and
+    /// every hit is bit-faithful to what that key last stored.
+    #[test]
+    fn atomic_cache_never_exceeds_slot_count(
+        entries in arb_entries(),
+        slots in 1usize..64,
+    ) {
+        let cache = AtomicCache::with_capacity(slots);
+        for &(k, v) in &entries {
+            cache.insert_hash(k, v);
+            prop_assert!(cache.len() <= slots, "{} > {}", cache.len(), slots);
+        }
+        // Lossy contract: a hit is exact; a miss is always legal.
+        for &(k, v) in &entries {
+            if let Some(found) = cache.lookup_hash(k) {
+                prop_assert_eq!(found.map(f64::to_bits), v.map(f64::to_bits));
+            }
+        }
+        prop_assert!(cache.len() <= slots);
+    }
+
+    /// Serial equivalence of the atomic cache vs. the mutex cache: on the
+    /// same insert sequence, the atomic cache is a lossy subset of the
+    /// lossless one — every atomic hit returns exactly the mutex cache's
+    /// value, and with ample capacity nothing conflicts away.
+    #[test]
+    fn atomic_cache_is_a_faithful_subset_of_mutex_cache(entries in arb_entries()) {
+        let atomic = AtomicCache::with_capacity(4096);
+        let mutex = PredictionCache::new();
+        for &(k, v) in &entries {
+            atomic.insert_hash(k, v);
+            mutex.insert_hash(k, v);
+        }
+        let mut atomic_hits = 0usize;
+        for &(k, _) in &entries {
+            let reference = mutex.lookup_hash(k).expect("lossless cache holds every key");
+            if let Some(found) = atomic.lookup_hash(k) {
+                prop_assert_eq!(
+                    found.map(f64::to_bits),
+                    reference.map(f64::to_bits),
+                    "atomic hit disagrees with lossless reference for key {}", k
+                );
+                atomic_hits += 1;
+            }
+        }
+        // With 4096 slots and <=200 keys, open-addressing conflicts are
+        // rare; the subset must not be degenerate.
+        prop_assert!(
+            entries.is_empty() || atomic_hits * 10 >= entries.len() * 9,
+            "atomic cache retained only {}/{} entries", atomic_hits, entries.len()
+        );
+    }
+
+    /// The serving invariant holds over either cache backend, and the
+    /// served predictions are bit-identical whichever backend is behind
+    /// the predictor: `hits + model_evals == kernels` on both, and a
+    /// deterministic model means a lossy miss can only re-derive the
+    /// same value.
+    #[test]
+    fn predictor_accounting_holds_over_both_backends(
+        n_kernels in 1usize..24,
+        revisits in 1usize..4,
+    ) {
+        let model = || FnCostModel::new("prop", |k: &Kernel| {
+            Some(k.computation.num_nodes() as f64 * 10.0)
+        });
+        let atomic = Predictor::with_cache(model(), Arc::new(AtomicCache::serving_default()));
+        let mutex = Predictor::with_cache(model(), Arc::new(PredictionCache::new()));
+        let kernels: Vec<Kernel> = (0..n_kernels)
+            .map(|i| {
+                let mut b = GraphBuilder::new("k");
+                let x = b.parameter("x", Shape::matrix(16 + 4 * i, 24), DType::F32);
+                let t = b.tanh(x);
+                Kernel::new(b.finish(t))
+            })
+            .collect();
+        let refs: Vec<&Kernel> = kernels.iter().collect();
+
+        for _ in 0..=revisits {
+            let (from_atomic, stats_a) = atomic.predict_ns_refs(&refs);
+            let (from_mutex, stats_m) = mutex.predict_ns_refs(&refs);
+            prop_assert_eq!(stats_a.cache_hits + stats_a.model_evals, stats_a.kernels);
+            prop_assert_eq!(stats_m.cache_hits + stats_m.model_evals, stats_m.kernels);
+            let a: Vec<Option<u64>> = from_atomic.iter().map(|p| p.map(f64::to_bits)).collect();
+            let b: Vec<Option<u64>> = from_mutex.iter().map(|p| p.map(f64::to_bits)).collect();
+            prop_assert_eq!(a, b);
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Golden regression test for the `tpu-serve` wire protocol.
+//!
+//! The daemon's NDJSON request/response format is a public surface:
+//! autotuner clients, CI smoke drivers, and any external tooling parse
+//! these exact bytes. This snapshot drives a deterministic engine through
+//! one serial transcript covering every reply shape — predictions (float
+//! and `null`), cache hits, `stats`, `ping`, `shutdown`, and the error
+//! replies for budget exhaustion, unparseable JSON, structurally invalid
+//! requests, bad HLO text, and unknown ops — and pins the byte-exact
+//! request and reply lines.
+//!
+//! If a format change is *intentional*, regenerate with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test serve_protocol
+//! ```
+//!
+//! and commit the updated `serve_golden.json` together with the change.
+
+use std::io::Cursor;
+use std::sync::Arc;
+use tpu_repro::hlo::{DType, GraphBuilder, Kernel, Shape, TileSize};
+use tpu_repro::learned::{AtomicCache, CostModel, FnCostModel, KernelCache};
+use tpu_repro::obs::Registry;
+use tpu_repro::serve::{protocol, serve_ndjson, ServeConfig, ServeEngine};
+
+/// A kernel with `n` unary ops after the parameter: node count encodes
+/// identity, so the deterministic model below gives distinct predictions.
+fn chain_kernel(ops: usize, rows: usize) -> Kernel {
+    let mut b = GraphBuilder::new("golden");
+    let x = b.parameter("x", Shape::matrix(rows, 64), DType::F32);
+    let mut cur = x;
+    for _ in 0..ops {
+        cur = b.tanh(cur);
+    }
+    Kernel::new(b.finish(cur)).with_tile(TileSize(vec![8, 64]))
+}
+
+/// The full transcript: `(request line, expected reply is golden)` pairs.
+fn transcript() -> Vec<String> {
+    let a = chain_kernel(1, 32); // 2 nodes -> 200.5
+    let b = chain_kernel(2, 48); // 3 nodes -> 300.5
+    let c = chain_kernel(3, 56); // 4 nodes -> unscored by the model
+    vec![
+        protocol::simple_request_line("ping", 1),
+        protocol::predict_request_line(2, &a),
+        // Same kernel again: a cache hit, identical prediction bytes.
+        protocol::predict_request_line(3, &a),
+        protocol::predict_request_line(4, &b),
+        // Third distinct kernel: the 2-eval budget is spent and this one
+        // is not cached, so the reply is the `budget` error.
+        protocol::predict_request_line(5, &c),
+        protocol::simple_request_line("stats", 6),
+        // Error surface: unparseable, missing kernel, bad HLO, unknown op.
+        "this is not json".to_string(),
+        "{\"op\":\"predict\",\"id\":8}".to_string(),
+        "{\"op\":\"predict\",\"id\":9,\"kernel\":{\"text\":\"not hlo at all\"}}".to_string(),
+        "{\"op\":\"teleport\",\"id\":10}".to_string(),
+        protocol::simple_request_line("shutdown", 11),
+    ]
+}
+
+/// Serve the transcript serially over a fully deterministic engine.
+fn run_transcript(lines: &[String]) -> Vec<String> {
+    let model: Box<dyn CostModel + Send> = Box::new(FnCostModel::new("golden", |k: &Kernel| {
+        let nodes = k.computation.num_nodes();
+        // Node counts >= 4 are "unsupported": exercises the null reply
+        // path (and, behind the budget, the budget-denied path).
+        (nodes < 4).then_some(nodes as f64 * 100.0 + 0.5)
+    }));
+    let cache: Arc<dyn KernelCache> = Arc::new(AtomicCache::serving_default());
+    let engine = ServeEngine::start(
+        model,
+        cache,
+        ServeConfig {
+            eval_budget: Some(2),
+            ..ServeConfig::default()
+        },
+        &Registry::noop(),
+    );
+    let input = lines.join("\n") + "\n";
+    let mut output = Vec::new();
+    let stopped = serve_ndjson(&engine, Cursor::new(input), &mut output).expect("serve io");
+    assert!(stopped, "transcript ends in shutdown");
+    engine.shutdown();
+    String::from_utf8(output)
+        .expect("replies are utf-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("serve_golden.json")
+}
+
+/// Render the transcript as one JSON document: an array of
+/// `{"request": ..., "reply": ...}` pairs (requests that are not valid
+/// JSON — the error-path probes — are embedded as strings either way).
+fn render_transcript(requests: &[String], replies: &[String]) -> String {
+    let pairs: Vec<String> = requests
+        .iter()
+        .zip(replies)
+        .map(|(req, rep)| {
+            let req = escape_json_string(req);
+            format!("    {{\"request\": \"{req}\", \"reply\": {rep}}}")
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"tpu-serve-protocol/1\",\n  \"transcript\": [\n{}\n  ]\n}}\n",
+        pairs.join(",\n")
+    )
+}
+
+/// Minimal JSON string escaping for embedding request lines.
+fn escape_json_string(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[test]
+fn serve_protocol_matches_golden_snapshot() {
+    let requests = transcript();
+    let replies = run_transcript(&requests);
+    assert_eq!(replies.len(), requests.len(), "one reply per request line");
+    let rendered = render_transcript(&requests, &replies);
+    let path = golden_path();
+
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write serve golden");
+        println!("regenerated {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run REGEN_GOLDEN=1 cargo test --test serve_protocol",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "serve protocol bytes drifted from tests/serve_golden.json; if intentional, \
+         regenerate with REGEN_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn transcript_replies_have_expected_shapes() {
+    // Independent of the snapshot bytes: pin the semantic shape of each
+    // reply so a regenerated golden cannot silently bless a regression.
+    let replies = run_transcript(&transcript());
+    assert!(replies[0].contains("\"pong\":true"));
+    assert!(replies[1].contains("\"ns\":200.5"));
+    assert_eq!(replies[2].replace("\"id\":3", "\"id\":2"), replies[1], "cache hit must reproduce the prediction bytes");
+    assert!(replies[3].contains("\"ns\":300.5"));
+    assert!(replies[4].contains("\"code\":\"budget\""));
+    assert!(replies[5].contains("\"cache_hits\":1") && replies[5].contains("\"model_evals\":2"));
+    assert!(replies[6].contains("\"code\":\"parse\"") && replies[6].contains("\"id\":null"));
+    assert!(replies[7].contains("\"code\":\"bad_request\"") && replies[7].contains("\"id\":8"));
+    assert!(replies[8].contains("\"code\":\"hlo\""));
+    assert!(replies[9].contains("\"code\":\"bad_request\""));
+    assert!(replies[10].contains("\"shutdown\":true"));
+}

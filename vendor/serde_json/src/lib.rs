@@ -59,6 +59,17 @@ pub fn parse_value_str(s: &str) -> Result<Value, Error> {
     Ok(value)
 }
 
+/// Render a [`Value`] tree as compact JSON text.
+///
+/// The output is deterministic (object fields keep insertion order,
+/// floats print their shortest round-trip representation), which lets
+/// protocol layers pin byte-exact golden files on it.
+pub fn value_to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out, None, 0);
+    out
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
