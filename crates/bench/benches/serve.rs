@@ -20,7 +20,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
-use tpu_learned_cost::{AtomicCache, CostModel, KernelCache, PredictionCache, SimOracle};
+use tpu_infer::{freeze_gnn, FrozenModel};
+use tpu_learned_cost::{
+    AtomicCache, CostModel, GnnConfig, GnnModel, KernelCache, PredictionCache, SimOracle,
+};
 use tpu_obs::Registry;
 use tpu_serve::{demo_kernels, percentile, ServeConfig, ServeEngine};
 use tpu_sim::TpuConfig;
@@ -36,10 +39,15 @@ struct LoadResult {
 }
 
 /// Drive `clients` threads, each submitting `per_client` requests over a
-/// shared kernel pool, against a fresh engine over `cache`. The cache is
-/// pre-warmed so the measured regime is the steady serving state.
-fn run_load(cache: Arc<dyn KernelCache>, clients: usize, per_client: usize) -> LoadResult {
-    let model: Box<dyn CostModel + Send> = Box::new(SimOracle::new(TpuConfig::default()));
+/// shared kernel pool, against a fresh engine over `model` and `cache`.
+/// The cache is pre-warmed so the measured regime is the steady serving
+/// state.
+fn run_load(
+    model: Box<dyn CostModel + Send>,
+    cache: Arc<dyn KernelCache>,
+    clients: usize,
+    per_client: usize,
+) -> LoadResult {
     let engine = Arc::new(ServeEngine::start(
         model,
         cache,
@@ -122,22 +130,46 @@ fn bench_serve(_c: &mut Criterion) {
     let per_client = if smoke() { 25 } else { 200 };
     let client_counts = [1usize, 8, 64];
 
+    // Two serving backends under the same load: the simulator oracle
+    // (the historical row) and the frozen int16 GNN, which is the backend
+    // this daemon is expected to run in production serving loops.
+    let frozen = {
+        let gnn = GnnModel::new(GnnConfig::default());
+        FrozenModel::Gnn(freeze_gnn(&gnn, &[]).expect("freeze gnn"))
+    };
+    type ModelFactory = Box<dyn Fn() -> Box<dyn CostModel + Send>>;
+    let backends: Vec<(&str, ModelFactory)> = vec![
+        (
+            "simulator-oracle",
+            Box::new(|| Box::new(SimOracle::new(TpuConfig::default()))),
+        ),
+        ("frozen-gnn", Box::new(move || Box::new(frozen.clone()))),
+    ];
+
     let mut rows = Vec::new();
-    for &clients in &client_counts {
-        let r = run_load(Arc::new(AtomicCache::serving_default()), clients, per_client);
-        println!(
-            "serve {clients:>2} clients x {per_client} reqs: p50 {:.1} us, p99 {:.1} us, {:.0} req/s",
-            r.p50_us, r.p99_us, r.throughput_rps
-        );
-        assert!(
-            r.p50_us.is_finite() && r.p99_us.is_finite(),
-            "latency percentiles must be finite"
-        );
-        rows.push(format!(
-            "      {{\"clients\": {clients}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
-             \"throughput_rps\": {:.1}}}",
-            r.p50_us, r.p99_us, r.throughput_rps
-        ));
+    for (backend, make_model) in &backends {
+        for &clients in &client_counts {
+            let r = run_load(
+                make_model(),
+                Arc::new(AtomicCache::serving_default()),
+                clients,
+                per_client,
+            );
+            println!(
+                "serve [{backend}] {clients:>2} clients x {per_client} reqs: \
+                 p50 {:.1} us, p99 {:.1} us, {:.0} req/s",
+                r.p50_us, r.p99_us, r.throughput_rps
+            );
+            assert!(
+                r.p50_us.is_finite() && r.p99_us.is_finite(),
+                "latency percentiles must be finite"
+            );
+            rows.push(format!(
+                "      {{\"backend\": \"{backend}\", \"clients\": {clients}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"throughput_rps\": {:.1}}}",
+                r.p50_us, r.p99_us, r.throughput_rps
+            ));
+        }
     }
 
     // Backend comparison on the multi-client cached load. The daemon

@@ -246,7 +246,8 @@ fn main() {
             .with_context("scale", format!("{scale:?}"))
             .with_context("start_mode", format!("{mode:?}"))
             .with_context("programs", rows.len())
-            .with_context("reps", reps);
+            .with_context("reps", reps)
+            .with_context("core.engine.backend", tpu_learned_cost::CostModel::name(&gnn));
         write_report(&report, &path);
     }
 }

@@ -397,7 +397,10 @@ fn main() {
     if let Some(path) = report_path {
         let mut report = RunReport::new("table2", &registry)
             .with_context("scale", format!("{scale:?}"))
-            .with_context("splits", "random,manual");
+            .with_context("splits", "random,manual")
+            // The "Ours" column's serving backend (the per-split models are
+            // dropped by now; the name is a per-type constant).
+            .with_context("core.engine.backend", "learned-gnn");
         if let Some(seed) = fault_seed {
             report = report.with_context("fault_seed", seed);
         }

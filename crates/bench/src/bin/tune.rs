@@ -300,7 +300,8 @@ fn main() {
         let mut report = RunReport::new("tune", &registry)
             .with_context("scale", format!("{scale:?}"))
             .with_context("target_program", &target.name)
-            .with_context("model_steps", budgets.model_steps);
+            .with_context("model_steps", budgets.model_steps)
+            .with_context("core.engine.backend", tpu_learned_cost::CostModel::name(&gnn));
         if let Some(seed) = fault_seed {
             report = report.with_context("fault_seed", seed);
         }

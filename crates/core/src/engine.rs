@@ -36,7 +36,7 @@ use tpu_obs::{Counter, Gauge, Histogram, Registry};
 const SHARDS: usize = 16;
 
 /// A point-in-time snapshot of cache counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -776,6 +776,16 @@ mod tests {
         let t = b.tanh(x);
         let e = b.exp(t);
         Kernel::new(b.finish(e))
+    }
+
+    #[test]
+    fn hit_rates_are_zero_not_nan_before_any_request() {
+        // Fresh-start stats must print as definite zeros: a serve daemon
+        // answering a `stats` request before any predict traffic would
+        // otherwise emit NaN, which is not representable in JSON.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(PredictStats::default().hit_rate(), 0.0);
+        assert_eq!(PredictionCache::new().stats().hit_rate(), 0.0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use engine::{
     PredictionCache, Predictor,
 };
 pub use lstm_model::{LstmConfig, LstmModel};
-pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction};
+pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction, LOG_NS_OFFSET};
 pub use train::{
     hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_observed,
     train_resumable, train_step, validation_metric, HyperTrial, KernelModel, TaskLoss,

@@ -1,0 +1,316 @@
+//! Frozen quantized inference for the learned TPU cost model.
+//!
+//! The training stack (`tpu-nn`) builds an autograd tape per forward: the
+//! right tool for gradients, pure overhead for serving. This crate is the
+//! serving artifact instead — the NNUE idea applied to the cost model:
+//!
+//! - **post-training quantization**: trained [`GnnModel`] / [`LstmModel`]
+//!   weights become int16 tensors with per-tensor scales chosen so the
+//!   i16×i16→i32 accumulator provably cannot overflow
+//!   ([`quant::weight_qmax`]),
+//! - **a compact versioned blob** (`tpu-frozen.v1`): fixed-layout records
+//!   loadable with plain little-endian byte reads — no tape, no serde
+//!   tree, no reflection ([`FrozenModel::from_bytes`]),
+//! - **branch-free flat-array forward kernels**: explicit chunked integer
+//!   inner loops, rayon fan-out only above a MAC threshold, bit-identical
+//!   for any thread count because every kernel's forward is independent
+//!   and integer accumulation order is fixed.
+//!
+//! [`FrozenModel`] implements [`CostModel`], so it drops behind
+//! `AtomicCache`, `FallbackChain`, and the `tpu-serve` daemon unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_infer::{freeze_gnn, FrozenModel};
+//! use tpu_learned_cost::{CostModel, GnnConfig, GnnModel};
+//!
+//! let model = GnnModel::new(GnnConfig::default());
+//! let frozen = FrozenModel::Gnn(freeze_gnn(&model, &[]).unwrap());
+//! let blob = frozen.to_bytes();
+//! let restored = FrozenModel::from_bytes(&blob).unwrap();
+//! let k = &tpu_infer::calibration_kernels(1)[0];
+//! assert_eq!(
+//!     restored.predict_kernel_ns(k),
+//!     frozen.predict_kernel_ns(k),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod quant;
+
+mod blob;
+mod gnn;
+mod lstm;
+
+pub use blob::{FrozenError, KIND_GNN, KIND_LSTM, MAGIC, VERSION};
+pub use gnn::{freeze_gnn, FrozenGnn};
+pub use lstm::{freeze_lstm, FrozenLstm};
+
+use rayon::prelude::*;
+use tpu_hlo::{DType, FusedProgram, GraphBuilder, Kernel, Shape, TileSize};
+use tpu_learned_cost::{CostModel, GnnModel, LstmModel, Prepared};
+
+/// Batch MAC count above which [`FrozenModel::predict_batch_ns`] fans
+/// kernels out to rayon. Below it the serial loop wins — thread handoff
+/// costs more than the integer matmuls. Either path is bit-identical:
+/// kernels are independent and results are written back by input index.
+pub const PAR_MAC_THRESHOLD: usize = 1 << 21;
+
+/// A frozen, quantized cost model loaded from (or destined for) a
+/// `tpu-frozen.v1` blob.
+#[derive(Debug, Clone)]
+pub enum FrozenModel {
+    /// A frozen GraphSAGE model.
+    Gnn(FrozenGnn),
+    /// A frozen LSTM baseline.
+    Lstm(FrozenLstm),
+}
+
+impl FrozenModel {
+    /// Parse a `tpu-frozen.v1` blob.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FrozenError`]s for truncated input, wrong magic,
+    /// unsupported version, unknown kind, or structurally inconsistent
+    /// contents — never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FrozenModel, FrozenError> {
+        let mut r = blob::Reader::new(bytes);
+        r.magic()?;
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(FrozenError::UnsupportedVersion(version));
+        }
+        let model = match r.u32()? {
+            KIND_GNN => FrozenModel::Gnn(FrozenGnn::read(&mut r)?),
+            KIND_LSTM => FrozenModel::Lstm(FrozenLstm::read(&mut r)?),
+            k => return Err(FrozenError::BadKind(k)),
+        };
+        r.finish()?;
+        Ok(model)
+    }
+
+    /// Serialize to a `tpu-frozen.v1` blob. Byte-for-byte deterministic
+    /// for a given model (the golden snapshot test pins this).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            FrozenModel::Gnn(m) => {
+                let mut w = blob::Writer::new(KIND_GNN);
+                m.write(&mut w);
+                w.into_bytes()
+            }
+            FrozenModel::Lstm(m) => {
+                let mut w = blob::Writer::new(KIND_LSTM);
+                m.write(&mut w);
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Predicted log-runtime (ns) of one featurized kernel.
+    pub fn predict_log_ns(&self, p: &Prepared) -> f64 {
+        match self {
+            FrozenModel::Gnn(m) => f64::from(m.forward_log_ns(p)),
+            FrozenModel::Lstm(m) => f64::from(m.forward_log_ns(p)),
+        }
+    }
+
+    fn mac_estimate(&self, p: &Prepared) -> usize {
+        match self {
+            FrozenModel::Gnn(m) => m.mac_estimate(p),
+            FrozenModel::Lstm(m) => m.mac_estimate(p),
+        }
+    }
+}
+
+impl CostModel for FrozenModel {
+    fn predict_kernel_ns(&self, kernel: &Kernel) -> Option<f64> {
+        Some(self.predict_log_ns(&Prepared::from_kernel(kernel)).exp())
+    }
+
+    /// Parallel featurization, then per-kernel independent forwards —
+    /// serial below [`PAR_MAC_THRESHOLD`] total MACs, rayon above it.
+    fn predict_batch_ns(&self, kernels: &[Kernel]) -> Vec<Option<f64>> {
+        let prepared = Prepared::from_kernels(kernels);
+        let total: usize = prepared.iter().map(|p| self.mac_estimate(p)).sum();
+        if total >= PAR_MAC_THRESHOLD {
+            prepared
+                .par_iter()
+                .map(|p| Some(self.predict_log_ns(p).exp()))
+                .collect()
+        } else {
+            prepared
+                .iter()
+                .map(|p| Some(self.predict_log_ns(p).exp()))
+                .collect()
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            FrozenModel::Gnn(_) => "frozen-gnn",
+            FrozenModel::Lstm(_) => "frozen-lstm",
+        }
+    }
+}
+
+/// Freeze either model family behind one entry point.
+///
+/// # Errors
+///
+/// See [`freeze_gnn`] / [`freeze_lstm`].
+pub fn freeze(model: FrozenSource<'_>, calib: &[Kernel]) -> Result<FrozenModel, FrozenError> {
+    match model {
+        FrozenSource::Gnn(m) => freeze_gnn(m, calib).map(FrozenModel::Gnn),
+        FrozenSource::Lstm(m) => freeze_lstm(m, calib).map(FrozenModel::Lstm),
+    }
+}
+
+/// Borrowed trained model handed to [`freeze`].
+pub enum FrozenSource<'a> {
+    /// Freeze a GraphSAGE model.
+    Gnn(&'a GnnModel),
+    /// Freeze an LSTM baseline.
+    Lstm(&'a LstmModel),
+}
+
+/// A deterministic family of generator kernels used to calibrate
+/// activation scales and to pin quantized-vs-f32 parity: elementwise
+/// chains over varied shapes, some with a second branch (fan-in edges),
+/// a trailing reduction, or an attached tile size.
+pub fn calibration_kernels(n: usize) -> Vec<Kernel> {
+    (0..n)
+        .map(|i| {
+            let rows = 8usize << (i % 6);
+            let cols = 8 + 24 * ((i * 5) % 11);
+            let mut b = GraphBuilder::new(format!("calib{i}"));
+            let x = b.parameter("x", Shape::matrix(rows, cols), DType::F32);
+            let mut v = x;
+            for step in 0..=(i % 4) {
+                v = match (i + step) % 3 {
+                    0 => b.tanh(v),
+                    1 => b.exp(v),
+                    _ => b.logistic(v),
+                };
+            }
+            if i % 2 == 0 {
+                let other = b.exp(x);
+                v = b.add(v, other);
+            }
+            if i % 4 == 3 {
+                v = b.reduce(v, vec![1]);
+            }
+            let mut k = Kernel::new(b.finish(v));
+            if i % 3 == 1 {
+                k = k.with_tile(TileSize(vec![rows.min(64), 8]));
+            }
+            k
+        })
+        .collect()
+}
+
+/// A program made of calibration kernels (program-level smoke tests).
+pub fn calibration_program(n: usize) -> FusedProgram {
+    FusedProgram::new("calibration", calibration_kernels(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_learned_cost::{GnnConfig, LstmConfig};
+
+    fn frozen_gnn() -> FrozenModel {
+        let model = GnnModel::new(GnnConfig::default());
+        FrozenModel::Gnn(freeze_gnn(&model, &[]).unwrap())
+    }
+
+    #[test]
+    fn blob_roundtrip_is_byte_exact() {
+        for frozen in [
+            frozen_gnn(),
+            FrozenModel::Lstm(freeze_lstm(&LstmModel::new(LstmConfig::default()), &[]).unwrap()),
+        ] {
+            let bytes = frozen.to_bytes();
+            let restored = FrozenModel::from_bytes(&bytes).unwrap();
+            assert_eq!(restored.to_bytes(), bytes);
+            let k = &calibration_kernels(3)[2];
+            assert_eq!(restored.predict_kernel_ns(k), frozen.predict_kernel_ns(k));
+        }
+    }
+
+    #[test]
+    fn truncated_blob_is_a_typed_error() {
+        let bytes = frozen_gnn().to_bytes();
+        for cut in [0, 4, 12, 40, bytes.len() / 2, bytes.len() - 1] {
+            let err = FrozenModel::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrozenError::Truncated { .. } | FrozenError::BadMagic),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_kind_mismatches_are_typed() {
+        let mut bytes = frozen_gnn().to_bytes();
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            FrozenModel::from_bytes(&bytes).unwrap_err(),
+            FrozenError::UnsupportedVersion(99)
+        ));
+        let mut bytes = frozen_gnn().to_bytes();
+        bytes[12] = 77; // kind field
+        assert!(matches!(
+            FrozenModel::from_bytes(&bytes).unwrap_err(),
+            FrozenError::BadKind(77)
+        ));
+        let mut bytes = frozen_gnn().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            FrozenModel::from_bytes(&bytes).unwrap_err(),
+            FrozenError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut bytes = frozen_gnn().to_bytes();
+        bytes.extend_from_slice(&[0u8; 3]);
+        assert!(matches!(
+            FrozenModel::from_bytes(&bytes).unwrap_err(),
+            FrozenError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn batch_matches_single_across_threshold() {
+        let frozen = frozen_gnn();
+        // Enough kernels that the batch path crosses PAR_MAC_THRESHOLD.
+        let kernels = calibration_kernels(40);
+        let batch = frozen.predict_batch_ns(&kernels);
+        for (k, b) in kernels.iter().zip(&batch) {
+            assert_eq!(*b, frozen.predict_kernel_ns(k), "batch must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn program_prediction_sums_kernels() {
+        let frozen = frozen_gnn();
+        let program = calibration_program(4);
+        let total = frozen.predict_program_ns(&program).unwrap();
+        let by_hand: f64 = program
+            .kernels
+            .iter()
+            .map(|k| frozen.predict_kernel_ns(k).unwrap())
+            .sum();
+        assert!((total - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let err: Box<dyn std::error::Error> = Box::new(FrozenError::UnsupportedVersion(3));
+        assert!(err.to_string().contains("version 3"));
+    }
+}

@@ -1,0 +1,323 @@
+//! The frozen LSTM baseline forward: quantized gate matmuls, f32 cell
+//! state.
+//!
+//! The per-node projection (ε⁰, shared with the GNN) and the fused gate
+//! matmul run in i16×i16→i32; gate nonlinearities and the `c`/`h`
+//! recurrence stay in f32 — they are O(H) per step against the matmul's
+//! O(H·(D+H)), and sigmoid/tanh have no cheap integer form. The hidden
+//! state is bounded in `[-1, 1]` (it is `sigmoid · tanh`), so its
+//! requantization each step uses the static unit scale and cannot
+//! saturate.
+
+use crate::blob::{FrozenError, Reader, Writer};
+use crate::quant::{self, QTensor, Q_ACT_MAX, S_UNIT};
+use tpu_hlo::{Kernel, Opcode};
+use tpu_learned_cost::features::FEATURE_DIM;
+use tpu_learned_cost::{LstmModel, Prepared};
+use tpu_nn::Tensor;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A frozen, quantized [`LstmModel`]: flat arrays, no tape.
+#[derive(Debug, Clone)]
+pub struct FrozenLstm {
+    embed_dim: usize,
+    node_dim: usize,
+    hidden: usize,
+    log_ns_offset: f32,
+    /// Calibrated scale of the raw node features.
+    s_feat: f32,
+    /// Calibrated scale of the f₁ node projections (the LSTM inputs).
+    s_node: f32,
+    /// Opcode embedding table; tensor scale doubles as activation scale.
+    emb: QTensor,
+    /// f₁ rows acting on the opcode embedding (rows `0..E` of `f1.w`).
+    w1e: QTensor,
+    /// f₁ rows acting on the features (rows `E..E+F`).
+    w1f: QTensor,
+    b1: Vec<f32>,
+    /// Gate rows acting on the step input (rows `0..D` of `lstm.w`),
+    /// fused `i, f, g, o` order, `D×4H`.
+    wx: QTensor,
+    /// Gate rows acting on the previous hidden state (rows `D..D+H`).
+    wh: QTensor,
+    /// Fused gate bias, `4H`.
+    b: Vec<f32>,
+    /// Head weight, `H×1`.
+    head: QTensor,
+    head_bias: f32,
+}
+
+impl FrozenLstm {
+    /// LSTM hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Rough multiply-accumulate count of one forward — drives the rayon
+    /// threshold in [`crate::FrozenModel`].
+    pub fn mac_estimate(&self, p: &Prepared) -> usize {
+        let n = p.num_nodes();
+        n * (self.embed_dim + FEATURE_DIM) * self.node_dim
+            + n * (self.node_dim + self.hidden) * 4 * self.hidden
+            + self.hidden
+    }
+
+    /// Predicted log-runtime (ns) of one featurized kernel. Nodes are
+    /// consumed in index order — for a single packed kernel that is
+    /// exactly the tape baseline's topological sequence.
+    pub fn forward_log_ns(&self, p: &Prepared) -> f32 {
+        let n = p.num_nodes();
+        let d = self.node_dim;
+        let h = self.hidden;
+
+        // Node projections (the GNN's ε⁰), then quantized once.
+        let mut qx = vec![0i16; n * d];
+        {
+            let mut node = vec![0.0f32; d];
+            let mut qfeat = vec![0i16; FEATURE_DIM];
+            let mut acc_e = vec![0i32; d];
+            let mut acc_f = vec![0i32; d];
+            let se = self.emb.scale * self.w1e.scale;
+            let sf = self.s_feat * self.w1f.scale;
+            for i in 0..n {
+                acc_e.fill(0);
+                acc_f.fill(0);
+                quant::quantize_into(p.features.row(i), self.s_feat, &mut qfeat);
+                quant::matvec_accum(self.emb.row(p.opcode_ids[i]), &self.w1e.data, &mut acc_e);
+                quant::matvec_accum(&qfeat, &self.w1f.data, &mut acc_f);
+                for j in 0..d {
+                    node[j] = (acc_e[j] as f32 * se + acc_f[j] as f32 * sf + self.b1[j]).max(0.0);
+                }
+                quant::quantize_into(&node, self.s_node, &mut qx[i * d..(i + 1) * d]);
+            }
+        }
+
+        // The recurrence: gates in i32, state in f32, hidden requantized
+        // to the unit scale for the next step's matmul.
+        let mut c = vec![0.0f32; h];
+        let mut qh = vec![0i16; h];
+        let mut gates = vec![0.0f32; 4 * h];
+        let mut acc_x = vec![0i32; 4 * h];
+        let mut acc_h = vec![0i32; 4 * h];
+        let sx = self.s_node * self.wx.scale;
+        let sh = S_UNIT * self.wh.scale;
+        for t in 0..n {
+            acc_x.fill(0);
+            acc_h.fill(0);
+            quant::matvec_accum(&qx[t * d..(t + 1) * d], &self.wx.data, &mut acc_x);
+            quant::matvec_accum(&qh, &self.wh.data, &mut acc_h);
+            for j in 0..4 * h {
+                gates[j] = acc_x[j] as f32 * sx + acc_h[j] as f32 * sh + self.b[j];
+            }
+            for j in 0..h {
+                let i_g = sigmoid(gates[j]);
+                let f_g = sigmoid(gates[h + j]);
+                let g_g = gates[2 * h + j].tanh();
+                let o_g = sigmoid(gates[3 * h + j]);
+                c[j] = f_g * c[j] + i_g * g_g;
+                qh[j] = quant::quantize_one(o_g * c[j].tanh(), S_UNIT);
+            }
+        }
+
+        let y = quant::dot_i16(&qh, &self.head.data) as f32 * (S_UNIT * self.head.scale);
+        y + self.head_bias + self.log_ns_offset
+    }
+
+    pub(crate) fn write(&self, w: &mut Writer) {
+        w.u32(self.embed_dim as u32);
+        w.u32(self.node_dim as u32);
+        w.u32(self.hidden as u32);
+        w.u32(FEATURE_DIM as u32);
+        w.u32(self.emb.rows as u32);
+        w.f32(self.log_ns_offset);
+        w.scales(&[self.s_feat, self.s_node]);
+        w.u32(9);
+        w.qtensor(&self.emb);
+        w.qtensor(&self.w1e);
+        w.qtensor(&self.w1f);
+        w.ftensor(&self.b1);
+        w.qtensor(&self.wx);
+        w.qtensor(&self.wh);
+        w.ftensor(&self.b);
+        w.qtensor(&self.head);
+        w.ftensor(&[self.head_bias]);
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<FrozenLstm, FrozenError> {
+        let embed_dim = r.dim("opcode_embed_dim")?;
+        let node_dim = r.dim("node_dim")?;
+        let hidden = r.dim("hidden")?;
+        let feature_dim = r.dim("feature_dim")?;
+        if feature_dim != FEATURE_DIM {
+            return Err(FrozenError::Corrupt(format!(
+                "blob was frozen with feature_dim {feature_dim}, this build uses {FEATURE_DIM}"
+            )));
+        }
+        let opcode_count = r.dim("opcode_count")?;
+        if opcode_count != Opcode::count() {
+            return Err(FrozenError::Corrupt(format!(
+                "blob was frozen with {opcode_count} opcodes, this build has {}",
+                Opcode::count()
+            )));
+        }
+        let log_ns_offset = r.f32()?;
+        let n_scales = r.dim("n_scales")?;
+        if n_scales != 2 {
+            return Err(FrozenError::Corrupt(format!(
+                "expected 2 activation scales, blob carries {n_scales}"
+            )));
+        }
+        let scales = r.f32s(2)?;
+        let n_tensors = r.dim("n_tensors")?;
+        if n_tensors != 9 {
+            return Err(FrozenError::Corrupt(format!(
+                "expected 9 tensor records, blob carries {n_tensors}"
+            )));
+        }
+
+        let emb = r.qtensor("opcode embedding")?;
+        let w1e = r.qtensor("f1 embedding rows")?;
+        let w1f = r.qtensor("f1 feature rows")?;
+        let b1 = r.ftensor("f1 bias", node_dim)?;
+        let wx = r.qtensor("gate input rows")?;
+        let wh = r.qtensor("gate hidden rows")?;
+        let b = r.ftensor("gate bias", 4 * hidden)?;
+        let head = r.qtensor("head")?;
+        let head_bias = r.ftensor("head bias", 1)?[0];
+        for (what, t, rows, cols) in [
+            ("opcode embedding", &emb, opcode_count, embed_dim),
+            ("f1 embedding rows", &w1e, embed_dim, node_dim),
+            ("f1 feature rows", &w1f, feature_dim, node_dim),
+            ("gate input rows", &wx, node_dim, 4 * hidden),
+            ("gate hidden rows", &wh, hidden, 4 * hidden),
+            ("head", &head, hidden, 1),
+        ] {
+            if t.rows != rows || t.cols != cols {
+                return Err(FrozenError::Corrupt(format!(
+                    "{what}: expected {rows}x{cols}, blob carries {}x{}",
+                    t.rows, t.cols
+                )));
+            }
+        }
+
+        Ok(FrozenLstm {
+            embed_dim,
+            node_dim,
+            hidden,
+            log_ns_offset,
+            s_feat: scales[0],
+            s_node: scales[1],
+            emb,
+            w1e,
+            w1f,
+            b1,
+            wx,
+            wh,
+            b,
+            head,
+            head_bias,
+        })
+    }
+}
+
+/// Freeze a trained (or freshly initialized) [`LstmModel`] into a
+/// [`FrozenLstm`], calibrating the feature and node scales on `calib`
+/// kernels (the built-in [`crate::calibration_kernels`] set when empty).
+///
+/// # Errors
+///
+/// [`FrozenError::MissingParam`] if the store lacks an expected parameter,
+/// [`FrozenError::FanInTooLarge`] if a layer cannot be quantized safely.
+pub fn freeze_lstm(model: &LstmModel, calib: &[Kernel]) -> Result<FrozenLstm, FrozenError> {
+    let cfg = model.config();
+    let store = model.store();
+    let tensor = |name: &str| -> Result<&Tensor, FrozenError> {
+        store
+            .find(name)
+            .map(|id| store.value(id))
+            .ok_or_else(|| FrozenError::MissingParam(name.into()))
+    };
+
+    let (e, d, h) = (cfg.opcode_embed_dim, cfg.node_dim, cfg.hidden);
+    let emb_t = tensor("opcode_embedding")?;
+    let w1_t = tensor("f1.w")?;
+    let b1_t = tensor("f1.b")?;
+    let lstm_w = tensor("lstm.w")?;
+    let lstm_b = tensor("lstm.b")?;
+    let head_w = tensor("head.w")?;
+    let head_b = tensor("head.b")?;
+    let (w1e_raw, w1f_raw) = w1_t.data().split_at(e * d);
+    let (wx_raw, wh_raw) = lstm_w.data().split_at(d * 4 * h);
+
+    // Calibration: feature maxima plus f32 node projections; the
+    // recurrence itself needs no scale (hidden state is unit-bounded).
+    let own;
+    let calib_kernels = if calib.is_empty() {
+        own = crate::calibration_kernels(16);
+        &own
+    } else {
+        calib
+    };
+    let mut feat_max = 0.0f32;
+    let mut node_max = 0.0f32;
+    let mut node = vec![0.0f32; d];
+    for k in calib_kernels {
+        let p = Prepared::from_kernel(k);
+        feat_max = p.features.data().iter().fold(feat_max, |m, &v| m.max(v.abs()));
+        for i in 0..p.num_nodes() {
+            node.copy_from_slice(b1_t.data());
+            let e0 = p.opcode_ids[i] * e;
+            crate::gnn::matvec_f32(&emb_t.data()[e0..e0 + e], w1e_raw, &mut node);
+            crate::gnn::matvec_f32(p.features.row(i), w1f_raw, &mut node);
+            for v in &node {
+                node_max = node_max.max(v.max(0.0));
+            }
+        }
+    }
+
+    let qw_e = quant::weight_qmax(e)?;
+    let qw_f = quant::weight_qmax(FEATURE_DIM)?;
+    let qw_d = quant::weight_qmax(d)?;
+    let qw_h = quant::weight_qmax(h)?;
+
+    Ok(FrozenLstm {
+        embed_dim: e,
+        node_dim: d,
+        hidden: h,
+        log_ns_offset: tpu_learned_cost::LOG_NS_OFFSET,
+        s_feat: quant::act_scale(feat_max),
+        s_node: quant::act_scale(node_max),
+        emb: QTensor::quantize(Opcode::count(), e, emb_t.data(), Q_ACT_MAX),
+        w1e: QTensor::quantize(e, d, w1e_raw, qw_e),
+        w1f: QTensor::quantize(FEATURE_DIM, d, w1f_raw, qw_f),
+        b1: b1_t.data().to_vec(),
+        wx: QTensor::quantize(d, 4 * h, wx_raw, qw_d),
+        wh: QTensor::quantize(h, 4 * h, wh_raw, qw_h),
+        b: lstm_b.data().to_vec(),
+        head: QTensor::quantize(h, 1, head_w.data(), qw_h),
+        head_bias: head_b.data()[0],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_learned_cost::LstmConfig;
+
+    #[test]
+    fn frozen_tracks_tape_forward() {
+        let model = LstmModel::new(LstmConfig::default());
+        let frozen = freeze_lstm(&model, &[]).unwrap();
+        for k in crate::calibration_kernels(12) {
+            let want = model.predict_log_ns(&k) as f32;
+            let got = frozen.forward_log_ns(&Prepared::from_kernel(&k));
+            assert!(
+                (want - got).abs() < 0.05,
+                "tape {want} vs frozen {got} drifted past quantization noise"
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Quantization primitives and the branch-free integer matmul kernels.
+//!
+//! Everything here is fixed-order scalar integer arithmetic: `i16`
+//! activations times `i16` weights accumulated into `i32`, with weight
+//! ranges chosen at freeze time so the accumulator provably cannot
+//! overflow (see [`weight_qmax`]). Integer addition is associative, so
+//! the results are bit-identical regardless of how the compiler
+//! vectorizes the chunked inner loops.
+
+use crate::FrozenError;
+
+/// Activation quantization range: symmetric int16, `±(2^15 - 1)`.
+pub const Q_ACT_MAX: i32 = 32767;
+
+/// Dequantization scale for activations that are bounded in `[-1, 1]` by
+/// construction (post-L2-normalization node embeddings, LSTM hidden
+/// state): the full int16 range maps exactly onto the unit interval, so
+/// no calibration is needed and no saturation can occur.
+pub const S_UNIT: f32 = 1.0 / Q_ACT_MAX as f32;
+
+/// Calibration headroom: activation scales cover `1.25×` the largest
+/// magnitude observed on the calibration set, so mild extrapolation does
+/// not saturate. Inputs beyond that clamp to `±Q_ACT_MAX` (saturating,
+/// never wrapping) — the parity suite pins this behavior.
+pub const CALIBRATION_HEADROOM: f32 = 1.25;
+
+/// Largest quantized weight magnitude usable with fan-in `fan_in`:
+/// `min(2^15 - 1, (2^31 - 1) / (fan_in · (2^15 - 1)))`.
+///
+/// This is the accumulation-width argument: every dot product sums
+/// `fan_in` products `|a·w| ≤ Q_ACT_MAX · qmax`, so the bound guarantees
+/// `|Σ| ≤ fan_in · Q_ACT_MAX · qmax ≤ i32::MAX` even if every activation
+/// is fully saturated. For this model family (fan-ins ≤ ~200) it lands
+/// in the 9–11-bit range — int8-class weights with int16 storage.
+///
+/// # Errors
+///
+/// [`FrozenError::FanInTooLarge`] when no usable weight range remains
+/// (fan-in beyond ~65 000 — far past any layer this crate freezes).
+pub fn weight_qmax(fan_in: usize) -> Result<i32, FrozenError> {
+    let budget = i32::MAX as i64 / (fan_in.max(1) as i64 * Q_ACT_MAX as i64);
+    let qmax = budget.min(Q_ACT_MAX as i64) as i32;
+    if qmax < 1 {
+        return Err(FrozenError::FanInTooLarge { fan_in });
+    }
+    Ok(qmax)
+}
+
+/// Activation scale from an observed maximum magnitude (with headroom);
+/// a degenerate all-zero stage gets a placeholder scale of `1/Q_ACT_MAX`.
+pub fn act_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs * CALIBRATION_HEADROOM / Q_ACT_MAX as f32
+    } else {
+        S_UNIT
+    }
+}
+
+/// Quantize one value: round to nearest, saturate at the int16 clamp
+/// boundaries (never wraps).
+#[inline]
+pub fn quantize_one(v: f32, scale: f32) -> i16 {
+    (v / scale).round().clamp(-(Q_ACT_MAX as f32), Q_ACT_MAX as f32) as i16
+}
+
+/// Quantize a slice into a preallocated buffer.
+#[inline]
+pub fn quantize_into(values: &[f32], scale: f32, out: &mut [i16]) {
+    for (q, &v) in out.iter_mut().zip(values) {
+        *q = quantize_one(v, scale);
+    }
+}
+
+/// A quantized tensor: row-major `i16` payload with one dequantization
+/// scale (`value ≈ q · scale`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Per-tensor dequantization scale.
+    pub scale: f32,
+    /// Row-major quantized payload, `rows · cols` entries.
+    pub data: Vec<i16>,
+}
+
+impl QTensor {
+    /// Quantize an f32 tensor symmetrically into `±qmax`.
+    pub fn quantize(rows: usize, cols: usize, values: &[f32], qmax: i32) -> QTensor {
+        debug_assert_eq!(values.len(), rows * cols);
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 {
+            max_abs / qmax as f32
+        } else {
+            1.0
+        };
+        let data = values
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-(qmax as f32), qmax as f32) as i16)
+            .collect();
+        QTensor {
+            rows,
+            cols,
+            scale,
+            data,
+        }
+    }
+
+    /// One row of the payload.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i16] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// `acc[j] += Σ_k a[k] · w[k·out + j]` over a row-major `[a.len() × out]`
+/// weight block — the i16×i16→i32 workhorse.
+///
+/// The inner loop is chunked to a fixed width so the compiler emits
+/// straight-line vectorizable code; there are no data-dependent branches.
+/// Accumulation order is ascending `k` for every chunk lane, and integer
+/// adds are associative, so the result is exact and thread-count cannot
+/// matter.
+#[inline]
+pub fn matvec_accum(a: &[i16], w: &[i16], acc: &mut [i32]) {
+    let out = acc.len();
+    debug_assert_eq!(w.len(), a.len() * out);
+    for (k, &av) in a.iter().enumerate() {
+        let av = i32::from(av);
+        let row = &w[k * out..k * out + out];
+        let mut wc = row.chunks_exact(8);
+        let mut ac = acc.chunks_exact_mut(8);
+        for (ws, accs) in (&mut wc).zip(&mut ac) {
+            for j in 0..8 {
+                accs[j] += av * i32::from(ws[j]);
+            }
+        }
+        for (aj, &wj) in ac.into_remainder().iter_mut().zip(wc.remainder()) {
+            *aj += av * i32::from(wj);
+        }
+    }
+}
+
+/// Dot product of two i16 vectors into i32 — the `out = 1` head case.
+#[inline]
+pub fn dot_i16(a: &[i16], w: &[i16]) -> i32 {
+    debug_assert_eq!(a.len(), w.len());
+    let mut lanes = [0i32; 8];
+    let mut ac = a.chunks_exact(8);
+    let mut wc = w.chunks_exact(8);
+    for (av, wv) in (&mut ac).zip(&mut wc) {
+        for j in 0..8 {
+            lanes[j] += i32::from(av[j]) * i32::from(wv[j]);
+        }
+    }
+    let mut acc: i32 = lanes.iter().sum();
+    for (&av, &wv) in ac.remainder().iter().zip(wc.remainder()) {
+        acc += i32::from(av) * i32::from(wv);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_saturates_at_clamp_boundaries() {
+        // Values past the representable range clamp to ±Q_ACT_MAX; they
+        // must never wrap to the opposite sign.
+        let s = 1.0 / Q_ACT_MAX as f32; // representable range [-1, 1]
+        assert_eq!(quantize_one(1e9, s), Q_ACT_MAX as i16);
+        assert_eq!(quantize_one(-1e9, s), -(Q_ACT_MAX as i16));
+        assert_eq!(quantize_one(0.0, s), 0);
+        assert_eq!(quantize_one(0.5, s), (Q_ACT_MAX / 2 + 1) as i16);
+    }
+
+    #[test]
+    fn weight_qmax_respects_accumulator_budget() {
+        for fan_in in [1usize, 48, 68, 96, 144, 512, 2000] {
+            let qmax = weight_qmax(fan_in).unwrap();
+            let worst = fan_in as i64 * Q_ACT_MAX as i64 * qmax as i64;
+            assert!(worst <= i32::MAX as i64, "fan_in {fan_in} overflows");
+            assert!(qmax >= 1);
+        }
+        assert!(weight_qmax(100_000).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_reference() {
+        let a: Vec<i16> = (0..13).map(|k| (k * 7 - 40) as i16).collect();
+        let w: Vec<i16> = (0..13 * 5).map(|k| ((k * 31) % 200 - 100) as i16).collect();
+        let mut acc = vec![0i32; 5];
+        matvec_accum(&a, &w, &mut acc);
+        for j in 0..5 {
+            let want: i32 = (0..13)
+                .map(|k| i32::from(a[k]) * i32::from(w[k * 5 + j]))
+                .sum();
+            assert_eq!(acc[j], want);
+        }
+    }
+
+    #[test]
+    fn dot_matches_matvec_single_column() {
+        let a: Vec<i16> = (0..37).map(|k| (k * 13 - 200) as i16).collect();
+        let w: Vec<i16> = (0..37).map(|k| ((k * 97) % 500 - 250) as i16).collect();
+        let mut acc = [0i32];
+        matvec_accum(&a, &w, &mut acc);
+        assert_eq!(dot_i16(&a, &w), acc[0]);
+    }
+
+    #[test]
+    fn qtensor_roundtrip_error_is_bounded() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.03).collect();
+        let q = QTensor::quantize(8, 8, &values, 1023);
+        for (&v, &qv) in values.iter().zip(&q.data) {
+            let back = f32::from(qv) * q.scale;
+            assert!((v - back).abs() <= q.scale * 0.5 + 1e-6);
+        }
+    }
+}

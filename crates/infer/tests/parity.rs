@@ -1,0 +1,150 @@
+//! Quantized-vs-f32 parity suite for the frozen inference path.
+//!
+//! The frozen model is only a valid serving artifact if quantization
+//! noise does not change decisions: the paper's headline metric is
+//! Kendall-tau rank fidelity, so that is what this suite pins — on
+//! fixed-seed models over the deterministic generator kernels, tau
+//! between the int16 forward and the f32 tape must stay ≥ 0.99. A
+//! proptest sweep additionally bounds per-kernel log-space drift, and
+//! the saturation tests pin behavior at the int16 clamp boundaries.
+
+use proptest::prelude::*;
+use tpu_infer::quant::{act_scale, quantize_one, Q_ACT_MAX};
+use tpu_infer::{calibration_kernels, freeze_gnn, freeze_lstm, FrozenModel};
+use tpu_learned_cost::metrics::kendall_tau;
+use tpu_learned_cost::{CostModel, GnnConfig, GnnModel, LstmConfig, LstmModel};
+
+const TAU_FLOOR: f64 = 0.99;
+
+/// Log-space tolerance for a single kernel: generous enough for int16
+/// rounding through a few matmul stages, tight enough that a scale bug
+/// (factor-of-two anywhere) fails immediately.
+const LOG_TOL: f64 = 0.05;
+
+fn tau_against_tape<M: CostModel>(model: &M, frozen: &FrozenModel, n: usize) -> f64 {
+    let kernels = calibration_kernels(n);
+    let f32_log: Vec<f64> = kernels
+        .iter()
+        .map(|k| model.predict_kernel_ns(k).expect("tape scores kernel").ln())
+        .collect();
+    let q_log: Vec<f64> = kernels
+        .iter()
+        .map(|k| frozen.predict_kernel_ns(k).expect("frozen scores kernel").ln())
+        .collect();
+    kendall_tau(&f32_log, &q_log)
+}
+
+#[test]
+fn gnn_quantized_ranking_matches_f32() {
+    let model = GnnModel::new(GnnConfig {
+        seed: 29,
+        ..GnnConfig::default()
+    });
+    let frozen = FrozenModel::Gnn(freeze_gnn(&model, &calibration_kernels(16)).unwrap());
+    let tau = tau_against_tape(&model, &frozen, 64);
+    assert!(tau >= TAU_FLOOR, "GNN quantized tau {tau} < {TAU_FLOOR}");
+}
+
+#[test]
+fn lstm_quantized_ranking_matches_f32() {
+    let model = LstmModel::new(LstmConfig {
+        seed: 29,
+        ..LstmConfig::default()
+    });
+    let frozen = FrozenModel::Lstm(freeze_lstm(&model, &calibration_kernels(16)).unwrap());
+    let tau = tau_against_tape(&model, &frozen, 64);
+    assert!(tau >= TAU_FLOOR, "LSTM quantized tau {tau} < {TAU_FLOOR}");
+}
+
+#[test]
+fn parity_holds_across_architectures() {
+    use tpu_learned_cost::{PoolCombo, Reduction};
+    for (reduction, pooling) in [
+        (Reduction::Mean, PoolCombo::all()),
+        (Reduction::Max, PoolCombo::all()),
+        (
+            Reduction::Sum,
+            PoolCombo {
+                sum: true,
+                mean: false,
+                max: false,
+            },
+        ),
+    ] {
+        let model = GnnModel::new(GnnConfig {
+            hidden: 24,
+            hops: 1,
+            reduction,
+            pooling,
+            seed: 41,
+            ..GnnConfig::default()
+        });
+        let frozen = FrozenModel::Gnn(freeze_gnn(&model, &calibration_kernels(8)).unwrap());
+        let tau = tau_against_tape(&model, &frozen, 48);
+        assert!(
+            tau >= TAU_FLOOR,
+            "tau {tau} < {TAU_FLOOR} for {reduction:?}/{pooling:?}"
+        );
+    }
+}
+
+proptest! {
+    /// Any generator kernel, any model seed: the quantized forward stays
+    /// within [`LOG_TOL`] of the tape in log-space.
+    #[test]
+    fn quantized_forward_tracks_tape(seed in 0u64..32, idx in 0usize..96) {
+        let model = GnnModel::new(GnnConfig { seed, ..GnnConfig::default() });
+        let frozen = FrozenModel::Gnn(freeze_gnn(&model, &[]).unwrap());
+        let kernel = calibration_kernels(idx + 1).pop().unwrap();
+        let tape = model.predict_kernel_ns(&kernel).unwrap().ln();
+        let quant = frozen.predict_kernel_ns(&kernel).unwrap().ln();
+        prop_assert!(
+            (tape - quant).abs() < LOG_TOL,
+            "seed {}, kernel {}: tape {} vs frozen {}", seed, idx, tape, quant
+        );
+    }
+}
+
+#[test]
+fn quantize_one_saturates_at_clamp_boundaries() {
+    let scale = act_scale(1.0);
+    // In-range values round; out-of-range values clamp, never wrap.
+    assert_eq!(quantize_one(0.0, scale), 0);
+    assert_eq!(i32::from(quantize_one(1.25, scale)), Q_ACT_MAX);
+    assert_eq!(i32::from(quantize_one(f32::MAX, scale)), Q_ACT_MAX);
+    assert_eq!(i32::from(quantize_one(-f32::MAX, scale)), -Q_ACT_MAX);
+    assert_eq!(i32::from(quantize_one(1e30, scale)), Q_ACT_MAX);
+    assert_eq!(i32::from(quantize_one(-1e30, scale)), -Q_ACT_MAX);
+}
+
+#[test]
+fn saturated_inputs_still_predict_finite() {
+    // A pathological kernel far outside the calibration range drives
+    // activations into the clamp; the prediction must stay finite (the
+    // clamp degrades precision, never validity).
+    let model = GnnModel::new(GnnConfig::default());
+    let frozen = FrozenModel::Gnn(freeze_gnn(&model, &calibration_kernels(4)).unwrap());
+    let huge = {
+        use tpu_repro_shapes::huge_kernel;
+        huge_kernel()
+    };
+    let ns = frozen.predict_kernel_ns(&huge).unwrap();
+    assert!(ns.is_finite() && ns > 0.0, "saturated prediction {ns}");
+}
+
+/// Local helper module: one deliberately extreme kernel.
+mod tpu_repro_shapes {
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape, TileSize};
+
+    pub fn huge_kernel() -> Kernel {
+        let mut b = GraphBuilder::new("huge");
+        let x = b.parameter("x", Shape::matrix(1 << 20, 4096), DType::F32);
+        let mut v = x;
+        for _ in 0..6 {
+            v = b.exp(v);
+        }
+        let y = b.exp(x);
+        let v = b.add(v, y);
+        Kernel::new(b.finish(v)).with_tile(TileSize(vec![512, 512]))
+    }
+}

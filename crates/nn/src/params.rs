@@ -104,6 +104,14 @@ impl ParamStore {
         (0..self.values.len()).map(ParamId)
     }
 
+    /// Look up a parameter by its registered name. Layer constructors use
+    /// deterministic names (`"f1.w"`, `"hop0.f2.b"`, …), so this is the
+    /// export path for tools that freeze trained weights into artifacts
+    /// that do not depend on this crate.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
     /// Zero all gradient accumulators.
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {

@@ -4,7 +4,7 @@
 //! stdin/stdout, or over TCP with `--tcp ADDR`.
 //!
 //! ```text
-//! tpu-serve [--tcp ADDR] [--model sim|analytical|gnn] [--bundle PATH]
+//! tpu-serve [--tcp ADDR] [--model sim|analytical|gnn|frozen] [--bundle PATH]
 //!           [--faults SEED] [--runs N] [--cache-slots N] [--mutex-cache]
 //!           [--max-pending N] [--batch-max N] [--eval-budget N]
 //! ```
@@ -30,6 +30,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use tpu_infer::FrozenModel;
 use tpu_learned_cost::{
     load_gnn, AtomicCache, CostModel, FallbackChain, KernelCache, PredictionCache, SimOracle,
 };
@@ -84,7 +85,17 @@ fn build_model(args: &[String]) -> Box<dyn CostModel + Send> {
                     .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
                 Box::new(load_gnn(&json).unwrap_or_else(|e| die(&format!("{e:?}"))))
             }
-            other => die(&format!("unknown model {other:?} (sim|analytical|gnn)")),
+            "frozen" => {
+                let path = flag_value(args, "--bundle")
+                    .unwrap_or_else(|| die("--model frozen requires --bundle PATH"));
+                let bytes =
+                    std::fs::read(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+                Box::new(
+                    FrozenModel::from_bytes(&bytes)
+                        .unwrap_or_else(|e| die(&format!("load {path}: {e}"))),
+                )
+            }
+            other => die(&format!("unknown model {other:?} (sim|analytical|gnn|frozen)")),
         },
     };
     // The fallback keeps fault-injected or partial primaries total: any
@@ -190,6 +201,19 @@ fn drive_client(addr: &str, kernels: &[tpu_hlo::Kernel], count: usize) -> Client
     outcome
 }
 
+/// Ask the daemon for `stats` and pull the `backend` field out of the
+/// reply (the field the engine prints first in the stats body).
+fn fetch_backend(addr: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let line = protocol::simple_request_line("stats", u64::MAX - 1);
+    stream.write_all(line.as_bytes()).ok()?;
+    stream.write_all(b"\n").ok()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).ok()?;
+    let rest = reply.split("\"backend\":\"").nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
 fn run_drive(args: &[String]) -> ExitCode {
     let addr = args
         .first()
@@ -224,6 +248,9 @@ fn run_drive(args: &[String]) -> ExitCode {
     }
     let elapsed = started.elapsed().as_secs_f64();
 
+    // One stats round trip so the summary names the serving backend.
+    let backend = fetch_backend(&addr).unwrap_or_else(|| "unknown".to_string());
+
     if args.iter().any(|a| a == "--shutdown") {
         if let Ok(mut stream) = TcpStream::connect(&addr) {
             let line = protocol::simple_request_line("shutdown", u64::MAX);
@@ -239,9 +266,9 @@ fn run_drive(args: &[String]) -> ExitCode {
     let p99 = percentile(&latencies, 99.0);
     let throughput = answered as f64 / elapsed.max(1e-9);
     println!(
-        "{{\"clients\":{clients},\"requests\":{total},\"answered\":{answered},\
-         \"errors\":{errors},\"p50_us\":{p50:.1},\"p99_us\":{p99:.1},\
-         \"throughput_rps\":{throughput:.1}}}"
+        "{{\"backend\":\"{backend}\",\"clients\":{clients},\"requests\":{total},\
+         \"answered\":{answered},\"errors\":{errors},\"p50_us\":{p50:.1},\
+         \"p99_us\":{p99:.1},\"throughput_rps\":{throughput:.1}}}"
     );
     if errors == 0 && answered == total && p50.is_finite() && p99.is_finite() {
         ExitCode::SUCCESS
@@ -254,7 +281,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: tpu-serve [--tcp ADDR] [--model sim|analytical|gnn] [--bundle PATH]\n\
+            "usage: tpu-serve [--tcp ADDR] [--model sim|analytical|gnn|frozen] [--bundle PATH]\n\
              \x20                [--faults SEED] [--runs N] [--cache-slots N] [--mutex-cache]\n\
              \x20                [--max-pending N] [--batch-max N] [--eval-budget N]\n\
              \x20      tpu-serve drive ADDR [--clients N] [--requests N] [--distinct K] [--shutdown]"

@@ -150,6 +150,7 @@ pub struct ServeEngine {
     shared: Arc<Shared>,
     tx: Mutex<Option<Sender<Job>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
+    backend: String,
 }
 
 impl ServeEngine {
@@ -165,6 +166,9 @@ impl ServeEngine {
         registry: &Registry,
     ) -> ServeEngine {
         let shared = Arc::new(Shared::new(cfg.max_pending));
+        // Captured before the model moves onto the worker thread, so stats
+        // replies and run reports can name the serving backend.
+        let backend = model.name().to_string();
         let (tx, rx) = mpsc::channel::<Job>();
         let worker_shared = Arc::clone(&shared);
         let registry = registry.clone();
@@ -181,7 +185,14 @@ impl ServeEngine {
             shared,
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
+            backend,
         }
+    }
+
+    /// Name of the cost model serving this engine (the model's
+    /// [`CostModel::name`], e.g. `"learned-gnn"` or `"frozen-gnn"`).
+    pub fn backend(&self) -> &str {
+        &self.backend
     }
 
     /// Submit one kernel and block until the worker answers it.

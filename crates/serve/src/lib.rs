@@ -60,7 +60,9 @@ pub fn serve_ndjson<R: BufRead, W: Write>(
                 },
                 Err(msg) => protocol::error_reply(Some(id), "hlo", &msg),
             },
-            Ok(Request::Stats { id }) => protocol::stats_reply(id, &serve.stats()),
+            Ok(Request::Stats { id }) => {
+                protocol::stats_reply(id, &serve.stats(), serve.backend())
+            }
             Ok(Request::Ping { id }) => protocol::ping_reply(id),
             Ok(Request::Shutdown { id }) => {
                 stop = true;
@@ -215,10 +217,11 @@ pub fn demo_kernels(n: usize) -> Vec<Kernel> {
 }
 
 /// Percentile (0–100) of an unsorted sample by nearest-rank on a sorted
-/// copy; `NaN` for an empty sample.
+/// copy; `0.0` for an empty sample (a no-traffic drive report prints
+/// zeros, never `NaN`).
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
-        return f64::NAN;
+        return 0.0;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -342,6 +345,9 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 51.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 100.0), 100.0);
-        assert!(percentile(&[], 50.0).is_nan());
+        // Zero-request case: definite zeros, never NaN, so empty drive
+        // reports stay JSON-representable.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
     }
 }

@@ -293,8 +293,11 @@ pub fn shutdown_reply(id: u64) -> String {
 }
 
 /// Stats reply over a [`ServeStats`](crate::ServeStats) snapshot.
-pub fn stats_reply(id: u64, stats: &crate::ServeStats) -> String {
+/// `backend` names the serving cost model (engine `backend()`), so
+/// drive artifacts and chaos reports record which model answered.
+pub fn stats_reply(id: u64, stats: &crate::ServeStats, backend: &str) -> String {
     let body = obj(vec![
+        ("backend", Value::Str(backend.to_string())),
         ("submitted", Value::UInt(stats.submitted)),
         ("answered", Value::UInt(stats.answered)),
         ("rejected", Value::UInt(stats.rejected)),

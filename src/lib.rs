@@ -15,7 +15,8 @@
 //! - [`autotuner`] — the simulated-annealing fusion autotuner,
 //! - [`obs`] — metrics registry, scoped timers, and structured run reports,
 //! - [`dataset`] — the synthetic program corpus and dataset pipelines,
-//! - [`serve`] — the `tpu-serve` NDJSON prediction daemon.
+//! - [`serve`] — the `tpu-serve` NDJSON prediction daemon,
+//! - [`infer`] — frozen int16-quantized inference (`tpu-frozen.v1` blobs).
 //!
 //! # Example
 //!
@@ -35,6 +36,7 @@ pub use tpu_autotuner as autotuner;
 pub use tpu_dataset as dataset;
 pub use tpu_fusion as fusion;
 pub use tpu_hlo as hlo;
+pub use tpu_infer as infer;
 pub use tpu_learned_cost as learned;
 pub use tpu_nn as nn;
 pub use tpu_obs as obs;

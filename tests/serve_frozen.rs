@@ -1,0 +1,92 @@
+//! The frozen int16 backend behind the serve stack: determinism and
+//! backend visibility.
+//!
+//! The frozen forward batches through `FrozenModel::predict_batch_ns`,
+//! which fans kernels out over rayon above a MAC threshold. Thread count
+//! must never leak into served bytes — integer accumulation order is
+//! fixed and kernels are independent — so the same request stream must
+//! produce byte-identical replies at 1, 2, and 8 threads, and the stats
+//! reply must name `frozen-gnn` as the active backend.
+//!
+//! This lives in its own integration-test binary because it mutates
+//! `RAYON_NUM_THREADS`, which other tests read. Everything runs inside a
+//! single `#[test]` so the set/restore sequence cannot race.
+
+use std::io::Cursor;
+use std::sync::Arc;
+use tpu_repro::infer::{freeze_gnn, FrozenModel};
+use tpu_repro::learned::{AtomicCache, CostModel, GnnConfig, GnnModel, KernelCache};
+use tpu_repro::obs::Registry;
+use tpu_repro::serve::{demo_kernels, protocol, serve_ndjson, ServeConfig, ServeEngine};
+
+/// Distinct kernels (cold evals), revisits (cache hits), a stats probe,
+/// then shutdown.
+fn request_stream() -> String {
+    let kernels = demo_kernels(12);
+    let mut lines = Vec::new();
+    let mut id = 0u64;
+    for k in &kernels {
+        lines.push(protocol::predict_request_line(id, k));
+        id += 1;
+    }
+    for k in kernels.iter().rev() {
+        lines.push(protocol::predict_request_line(id, k));
+        id += 1;
+    }
+    lines.push(protocol::simple_request_line("stats", id));
+    lines.push(protocol::simple_request_line("shutdown", id + 1));
+    lines.join("\n") + "\n"
+}
+
+/// One full serve run over a freshly loaded frozen model. The blob is
+/// frozen once and re-parsed per run, so the load path is exercised too.
+fn run_once(blob: &[u8], input: &str) -> String {
+    let frozen = FrozenModel::from_bytes(blob).expect("blob loads");
+    let model: Box<dyn CostModel + Send> = Box::new(frozen);
+    let cache: Arc<dyn KernelCache> = Arc::new(AtomicCache::serving_default());
+    let engine = ServeEngine::start(model, cache, ServeConfig::default(), &Registry::noop());
+    assert_eq!(engine.backend(), "frozen-gnn");
+    let mut output = Vec::new();
+    serve_ndjson(&engine, Cursor::new(input.to_string()), &mut output).expect("serve io");
+    engine.shutdown();
+    String::from_utf8(output).expect("utf-8 replies")
+}
+
+#[test]
+fn frozen_backend_is_deterministic_and_named() {
+    let gnn = GnnModel::new(GnnConfig {
+        hidden: 16,
+        opcode_embed_dim: 8,
+        hops: 1,
+        ..Default::default()
+    });
+    let blob = FrozenModel::Gnn(freeze_gnn(&gnn, &[]).expect("freeze"))
+        .to_bytes();
+    let input = request_stream();
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let reference = run_once(&blob, &input);
+    assert!(
+        reference.contains("\"ns\":"),
+        "stream must contain predictions"
+    );
+    assert!(
+        reference.contains("\"backend\":\"frozen-gnn\""),
+        "stats reply must name the frozen backend"
+    );
+
+    for threads in ["2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let run = run_once(&blob, &input);
+        assert_eq!(
+            reference, run,
+            "frozen served bytes differ at RAYON_NUM_THREADS={threads}"
+        );
+    }
+
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

@@ -157,6 +157,7 @@ fn transcript_replies_have_expected_shapes() {
     assert_eq!(replies[2].replace("\"id\":3", "\"id\":2"), replies[1], "cache hit must reproduce the prediction bytes");
     assert!(replies[3].contains("\"ns\":300.5"));
     assert!(replies[4].contains("\"code\":\"budget\""));
+    assert!(replies[5].contains("\"backend\":\"golden\""), "stats must name the serving backend");
     assert!(replies[5].contains("\"cache_hits\":1") && replies[5].contains("\"model_evals\":2"));
     assert!(replies[6].contains("\"code\":\"parse\"") && replies[6].contains("\"id\":null"));
     assert!(replies[7].contains("\"code\":\"bad_request\"") && replies[7].contains("\"id\":8"));
