@@ -112,6 +112,86 @@ impl Prepared {
     }
 }
 
+/// Extract a contiguous BFS segment of a large graph (TpuGraphs-style
+/// segment training): up to `max_nodes` nodes grown breadth-first from a
+/// seeded start over the undirected edge set, induced as a subgraph with
+/// the surviving nodes kept in their original (topological) order. The
+/// runtime target is scaled by the kept node fraction so segment losses
+/// stay on the whole-graph scale. Graphs already within `max_nodes` are
+/// returned unchanged.
+///
+/// Purely a function of `(p, max_nodes, seed)` — no thread-dependent
+/// state — so segment training stays bit-identical across thread counts.
+pub fn bfs_segment(p: &Prepared, max_nodes: usize, seed: u64) -> Prepared {
+    let n = p.num_nodes();
+    if max_nodes == 0 || n <= max_nodes {
+        return p.clone();
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &p.edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let mut visited = vec![false; n];
+    let mut taken = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    let mut scan = (seed % n as u64) as usize;
+    'grow: while taken < max_nodes {
+        // Seed a BFS root at the next unvisited index (wrapping scan);
+        // one always exists while taken < max_nodes < n.
+        while visited[scan] {
+            scan = (scan + 1) % n;
+        }
+        visited[scan] = true;
+        taken += 1;
+        if taken >= max_nodes {
+            break;
+        }
+        queue.push_back(scan);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    taken += 1;
+                    queue.push_back(v);
+                    if taken >= max_nodes {
+                        break 'grow;
+                    }
+                }
+            }
+        }
+    }
+
+    let keep: Vec<usize> = (0..n).filter(|&i| visited[i]).collect();
+    let mut remap = vec![usize::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        remap[old] = new;
+    }
+    let mut data = Vec::with_capacity(keep.len() * FEATURE_DIM);
+    let src = p.features.data();
+    for &old in &keep {
+        data.extend_from_slice(&src[old * FEATURE_DIM..(old + 1) * FEATURE_DIM]);
+    }
+    let edges: Vec<(usize, usize)> = p
+        .edges
+        .iter()
+        .filter(|&&(a, b)| visited[a] && visited[b])
+        .map(|&(a, b)| (remap[a], remap[b]))
+        .collect();
+    let frac = keep.len() as f64 / n as f64;
+    Prepared {
+        opcode_ids: keep.iter().map(|&i| p.opcode_ids[i]).collect(),
+        features: Tensor::from_vec(keep.len(), FEATURE_DIM, data),
+        edges,
+        runtime_ns: p.runtime_ns * frac,
+        group: p.group,
+    }
+}
+
 /// Several prepared kernels packed into one disjoint graph.
 #[derive(Debug, Clone)]
 pub struct GraphBatch {
@@ -255,5 +335,61 @@ mod tests {
         let s = Sample::grouped(sample(64).kernel, 100.0, 7);
         let p = Prepared::from_sample(&s);
         assert_eq!(p.group, 7);
+    }
+
+    fn chain_prepared(len: usize) -> Prepared {
+        let mut b = GraphBuilder::new("k");
+        let mut h = b.parameter("x", Shape::matrix(8, 64), DType::F32);
+        for _ in 0..len {
+            h = b.tanh(h);
+        }
+        Prepared::from_sample(&Sample::new(Kernel::new(b.finish(h)), 64_000.0))
+    }
+
+    #[test]
+    fn bfs_segment_respects_cap_and_scales_target() {
+        let p = chain_prepared(63); // 64 nodes
+        let s = bfs_segment(&p, 16, 3);
+        assert_eq!(s.num_nodes(), 16);
+        // Edges stay in-range and only connect kept nodes.
+        for &(a, b) in &s.edges {
+            assert!(a < 16 && b < 16);
+        }
+        // A contiguous chain segment of 16 nodes has 15 internal edges.
+        assert_eq!(s.edges.len(), 15);
+        let frac = 16.0 / 64.0;
+        assert_eq!(s.runtime_ns.to_bits(), (p.runtime_ns * frac).to_bits());
+        assert_eq!(s.group, p.group);
+        assert_eq!(s.features.shape(), (16, FEATURE_DIM));
+    }
+
+    #[test]
+    fn bfs_segment_small_graph_is_identity() {
+        let p = chain_prepared(7);
+        let s = bfs_segment(&p, 100, 9);
+        assert_eq!(s.num_nodes(), p.num_nodes());
+        assert_eq!(s.edges, p.edges);
+        assert_eq!(s.runtime_ns.to_bits(), p.runtime_ns.to_bits());
+    }
+
+    #[test]
+    fn bfs_segment_is_seed_deterministic_and_seed_sensitive() {
+        let p = chain_prepared(127);
+        let a = bfs_segment(&p, 32, 5);
+        let b = bfs_segment(&p, 32, 5);
+        assert_eq!(a.opcode_ids, b.opcode_ids);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(
+            a.features.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.features.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // A far-away seed starts the segment elsewhere on the chain: the
+        // seed-5 segment reaches the parameter node, the seed-77 one is
+        // all tanh.
+        let c = bfs_segment(&p, 32, 77);
+        assert_ne!(
+            a.opcode_ids, c.opcode_ids,
+            "different seeds should pick different segments"
+        );
     }
 }

@@ -57,7 +57,7 @@ mod model;
 mod train;
 
 pub use atomic_cache::AtomicCache;
-pub use batch::{GraphBatch, Prepared, Sample};
+pub use batch::{bfs_segment, GraphBatch, Prepared, Sample};
 pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm, BundleError};
 pub use checkpoint::{CheckpointError, TrainCheckpoint, SCHEMA as CHECKPOINT_SCHEMA};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
@@ -68,7 +68,11 @@ pub use engine::{
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction, LOG_NS_OFFSET};
 pub use train::{
-    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, train, train_observed,
-    train_resumable, train_step, validation_metric, HyperTrial, KernelModel, TaskLoss,
-    TrainConfig, TrainReport,
+    hyper_search_gnn, per_group_kendall, predict_log_ns, prepare, stream_epoch_plan, train,
+    train_observed, train_resumable, train_step, train_stream, validation_metric, BatchSource,
+    ExampleMeta, HyperTrial, KernelModel, StreamConfig, TaskLoss, TrainConfig, TrainReport,
 };
+
+// Re-exported so downstream crates (e.g. the streamed dataset reader) can
+// construct `Prepared` feature matrices without a direct tpu-nn dep.
+pub use tpu_nn::Tensor;

@@ -263,9 +263,13 @@ fn batch_indices(
             idx.chunks(cfg.batch_size).map(<[usize]>::to_vec).collect()
         }
         // Tile task: keep groups intact so in-batch pairs exist (§4.2's
-        // batching modification).
+        // batching modification). Groups are collected in sorted-id order
+        // before the shuffle: iterating a HashMap here would order the
+        // shuffle's input by the process-random hash seed, making batch
+        // composition differ between identical runs.
         TaskLoss::TileRank(_) | TaskLoss::TileMse => {
-            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+            let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
             for (i, p) in prepared.iter().enumerate() {
                 groups.entry(p.group).or_default().push(i);
             }
@@ -700,6 +704,223 @@ pub fn train_resumable<M: KernelModel>(
     obs.best_val.set(report.best_val);
     obs.best_epoch.set(report.best_epoch as f64);
 
+    if let Some(w) = best_weights {
+        if let Ok(store) = ParamStore::from_json(&w) {
+            *model.params_mut() = store;
+        }
+    }
+    Ok(report)
+}
+
+/// Index-planning metadata for one training example: everything the epoch
+/// planner needs without loading the example payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExampleMeta {
+    /// Rank-loss group id (see [`Sample::group`]).
+    pub group: usize,
+    /// Graph node count (segment-training decisions).
+    pub num_nodes: usize,
+}
+
+/// A source of training examples the streaming epoch loop can pull
+/// batches from: the in-memory `[Prepared]` slice and the on-disk
+/// `DatasetReader` (tpu-dataset) both implement it, so
+/// [`train_stream`] is bit-identical whichever backs it.
+///
+/// `Sync` so validation/planning can run while rayon owns worker threads;
+/// `load` itself is only ever called from the training thread.
+pub trait BatchSource: Sync {
+    /// Number of examples.
+    fn num_examples(&self) -> usize;
+    /// Planning metadata for example `i` (must not require payload I/O).
+    fn meta(&self, i: usize) -> ExampleMeta;
+    /// Materialize the examples at `idxs`, in order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the failure (I/O error, corrupt
+    /// record, …); in-memory sources never fail.
+    fn load(&self, idxs: &[usize]) -> Result<Vec<Prepared>, String>;
+}
+
+impl BatchSource for [Prepared] {
+    fn num_examples(&self) -> usize {
+        self.len()
+    }
+    fn meta(&self, i: usize) -> ExampleMeta {
+        ExampleMeta {
+            group: self[i].group,
+            num_nodes: self[i].num_nodes(),
+        }
+    }
+    fn load(&self, idxs: &[usize]) -> Result<Vec<Prepared>, String> {
+        Ok(idxs.iter().map(|&i| self[i].clone()).collect())
+    }
+}
+
+/// Streaming/segment-training parameters layered on [`TrainConfig`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Shuffled-window size in examples (fusion task): an epoch visits
+    /// windows of consecutive example indices in shuffled order, shuffled
+    /// within each window — near-sequential reads from a streamed file
+    /// with enough mixing for SGD.
+    pub window: usize,
+    /// Graphs above this node count train on a contiguous BFS segment of
+    /// at most this many nodes per step (TpuGraphs-style), resampled with
+    /// a fresh seed every epoch.
+    pub segment_nodes: usize,
+    /// Base seed of the segment sampler.
+    pub segment_seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: 4096,
+            segment_nodes: 256,
+            segment_seed: 17,
+        }
+    }
+}
+
+/// splitmix64-style mix of (seed, epoch, example id) → segment seed.
+/// Computed on the planning thread, so segment choice can never depend on
+/// thread count or execution order.
+fn mix_seed(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        ^ b.rotate_left(20)
+        ^ c.rotate_left(41);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic batch plan of one streaming epoch.
+///
+/// Seeded from `(cfg.seed, epoch)`, so under
+/// [`TrainConfig::max_batches_per_epoch`] every epoch subsamples a
+/// **freshly reshuffled** subset — never a fixed prefix of a one-time
+/// shuffle. Fusion epochs use shuffled-window order (windows of
+/// consecutive indices visited in shuffled order, shuffled within each
+/// window) so a streamed file is read near-sequentially; tile epochs keep
+/// rank groups intact exactly like the in-memory batcher.
+pub fn stream_epoch_plan<S: BatchSource + ?Sized>(
+    source: &S,
+    cfg: &TrainConfig,
+    scfg: &StreamConfig,
+    epoch: usize,
+) -> Vec<Vec<usize>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let n = source.num_examples();
+    let batch = cfg.batch_size.max(1);
+    let mut batches: Vec<Vec<usize>> = match cfg.loss {
+        TaskLoss::FusionLogMse => {
+            let window = scfg.window.max(batch);
+            let all: Vec<usize> = (0..n).collect();
+            let mut windows: Vec<Vec<usize>> =
+                all.chunks(window).map(<[usize]>::to_vec).collect();
+            windows.shuffle(&mut rng);
+            for w in &mut windows {
+                w.shuffle(&mut rng);
+            }
+            let order: Vec<usize> = windows.concat();
+            order.chunks(batch).map(<[usize]>::to_vec).collect()
+        }
+        TaskLoss::TileRank(_) | TaskLoss::TileMse => {
+            let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for i in 0..n {
+                groups.entry(source.meta(i).group).or_default().push(i);
+            }
+            let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+            group_list.shuffle(&mut rng);
+            let mut out = Vec::new();
+            let mut cur: Vec<usize> = Vec::new();
+            for g in group_list {
+                if !cur.is_empty() && cur.len() + g.len() > batch {
+                    out.push(std::mem::take(&mut cur));
+                }
+                cur.extend(g);
+            }
+            if !cur.is_empty() {
+                out.push(cur);
+            }
+            out
+        }
+    };
+    batches.truncate(cfg.max_batches_per_epoch);
+    batches
+}
+
+/// Train from a [`BatchSource`], one batch in memory at a time.
+///
+/// The streaming twin of [`train`]: batches follow
+/// [`stream_epoch_plan`]'s per-epoch reshuffled order, each batch is
+/// loaded, (if oversized) segment-sampled, stepped, and dropped — peak RSS
+/// is the model plus one batch, independent of corpus size. Graphs above
+/// [`StreamConfig::segment_nodes`] train on a [`crate::bfs_segment`]
+/// resampled per epoch with a seed mixed from
+/// `(segment_seed, epoch, example id)` on the planning thread, so results
+/// are bit-identical for any `RAYON_NUM_THREADS` and identical whether
+/// `source` is the in-memory slice or a streamed dataset file.
+///
+/// Validation tracking and best-weight restoration mirror [`train`].
+///
+/// # Errors
+///
+/// Propagates the first [`BatchSource::load`] failure verbatim.
+pub fn train_stream<M: KernelModel, S: BatchSource + ?Sized>(
+    model: &mut M,
+    source: &S,
+    val_set: &[Prepared],
+    cfg: &TrainConfig,
+    scfg: &StreamConfig,
+) -> Result<TrainReport, String> {
+    let higher_better = matches!(cfg.loss, TaskLoss::TileRank(_) | TaskLoss::TileMse);
+    let mut opt = Adam::new(cfg.lr);
+    let mut tapes: Vec<Tape> = Vec::new();
+    let mut report = TrainReport {
+        train_loss: Vec::new(),
+        val_metric: Vec::new(),
+        best_val: f64::NAN,
+        best_epoch: 0,
+    };
+    let mut best_weights: Option<String> = None;
+    for epoch in 0..cfg.epochs {
+        let batches = stream_epoch_plan(source, cfg, scfg, epoch);
+        let mut losses = Vec::new();
+        for idxs in &batches {
+            let mut prepared = source.load(idxs)?;
+            for (p, &gi) in prepared.iter_mut().zip(idxs) {
+                if scfg.segment_nodes > 0 && p.num_nodes() > scfg.segment_nodes {
+                    *p = crate::batch::bfs_segment(
+                        p,
+                        scfg.segment_nodes,
+                        mix_seed(scfg.segment_seed, epoch as u64, gi as u64),
+                    );
+                }
+            }
+            let local: Vec<usize> = (0..prepared.len()).collect();
+            if let Some(l) = train_step(model, &prepared, &local, cfg, &mut opt, &mut tapes) {
+                losses.push(l);
+            }
+        }
+        report.train_loss.push(mean(&losses));
+        let vm = validation_metric(model, val_set, cfg.loss);
+        report.val_metric.push(vm);
+        let improved = report.best_val.is_nan()
+            || (higher_better && vm > report.best_val)
+            || (!higher_better && vm < report.best_val);
+        if improved && vm.is_finite() {
+            report.best_val = vm;
+            report.best_epoch = epoch;
+            best_weights = Some(model.params().to_json());
+        }
+    }
     if let Some(w) = best_weights {
         if let Ok(store) = ParamStore::from_json(&w) {
             *model.params_mut() = store;
@@ -1300,6 +1521,186 @@ mod checkpoint_tests {
         let rb = train(&mut b, &train_set, &val_set, &cfg(3));
         assert_eq!(ra.train_loss, rb.train_loss);
         assert_eq!(a.params().to_json(), b.params().to_json());
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::model::GnnConfig;
+    use tpu_hlo::{DType, GraphBuilder, Kernel, Shape};
+    use tpu_sim::{kernel_time_ns, TpuConfig};
+
+    fn make_prepared(n: usize) -> Vec<Prepared> {
+        let cfg = TpuConfig::default();
+        (0..n)
+            .map(|i| {
+                let mut b = GraphBuilder::new("k");
+                let x = b.parameter("x", Shape::matrix(8 + i, 64), DType::F32);
+                let t = b.tanh(x);
+                let k = Kernel::new(b.finish(t));
+                let t_ns = kernel_time_ns(&k, &cfg);
+                Prepared::from_sample(&Sample::new(k, t_ns))
+            })
+            .collect()
+    }
+
+    /// Satellite fix pin: subsampling under `max_batches_per_epoch` must
+    /// be a fresh seeded reshuffle every epoch. A fixed prefix after one
+    /// shuffle would (a) visit identical index sets each epoch and (b)
+    /// starve the never-chosen tail forever.
+    #[test]
+    fn capped_epochs_reshuffle_and_cover_the_dataset() {
+        let prepared = make_prepared(60);
+        let cfg = TrainConfig {
+            batch_size: 5,
+            max_batches_per_epoch: 3, // 15 of 60 examples per epoch
+            ..Default::default()
+        };
+        let scfg = StreamConfig {
+            window: 10,
+            ..Default::default()
+        };
+        let epoch_sets: Vec<std::collections::BTreeSet<usize>> = (0..20)
+            .map(|e| {
+                stream_epoch_plan(&prepared[..], &cfg, &scfg, e)
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        for s in &epoch_sets {
+            assert_eq!(s.len(), 15, "cap not applied");
+        }
+        // Consecutive epochs draw different subsets…
+        assert_ne!(epoch_sets[0], epoch_sets[1], "epoch subsets never reshuffled");
+        // …and across epochs the whole dataset is visited.
+        let union: std::collections::BTreeSet<usize> =
+            epoch_sets.iter().flatten().copied().collect();
+        assert_eq!(union.len(), 60, "subsampling starves part of the dataset");
+        // Same epoch, same plan: the subsample is seeded, not ambient.
+        assert_eq!(
+            stream_epoch_plan(&prepared[..], &cfg, &scfg, 7),
+            stream_epoch_plan(&prepared[..], &cfg, &scfg, 7)
+        );
+    }
+
+    #[test]
+    fn uncapped_epoch_plan_covers_everything_once() {
+        let prepared = make_prepared(23);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_batches_per_epoch: usize::MAX,
+            ..Default::default()
+        };
+        let scfg = StreamConfig {
+            window: 8,
+            ..Default::default()
+        };
+        let mut seen: Vec<usize> = stream_epoch_plan(&prepared[..], &cfg, &scfg, 0)
+            .into_iter()
+            .flatten()
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tile_epoch_plan_keeps_groups_intact() {
+        let k = {
+            let mut b = GraphBuilder::new("k");
+            let x = b.parameter("x", Shape::matrix(64, 64), DType::F32);
+            let t = b.tanh(x);
+            Kernel::new(b.finish(t))
+        };
+        let prepared: Vec<Prepared> = (0..12)
+            .map(|i| Prepared::from_sample(&Sample::grouped(k.clone(), 100.0 + i as f64, i / 4)))
+            .collect();
+        let cfg = TrainConfig {
+            batch_size: 4,
+            loss: TaskLoss::TileRank(RankPhi::Logistic),
+            ..Default::default()
+        };
+        let batches = stream_epoch_plan(&prepared[..], &cfg, &StreamConfig::default(), 1);
+        for b in &batches {
+            assert_eq!(b.len() % 4, 0, "group split across batches: {b:?}");
+        }
+    }
+
+    #[test]
+    fn train_stream_from_memory_trains_and_restores_best() {
+        let prepared = make_prepared(12);
+        let (train_set, val_set) = (prepared[..9].to_vec(), prepared[9..].to_vec());
+        let mut model = GnnModel::new(GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let report = train_stream(
+            &mut model,
+            &train_set[..],
+            &val_set,
+            &cfg,
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.train_loss.len(), 4);
+        assert!(report.best_val.is_finite());
+    }
+
+    #[test]
+    fn segment_training_handles_oversized_graphs() {
+        // A graph far above segment_nodes must still train (via segments)
+        // without packing the full graph into any batch.
+        let cfg_hw = TpuConfig::default();
+        let mut samples = make_prepared(6);
+        let big = {
+            let mut b = GraphBuilder::new("big");
+            let mut h = b.parameter("x", Shape::matrix(8, 64), DType::F32);
+            for _ in 0..200 {
+                h = b.tanh(h);
+            }
+            let k = Kernel::new(b.finish(h));
+            let t = kernel_time_ns(&k, &cfg_hw);
+            Prepared::from_sample(&Sample::new(k, t))
+        };
+        samples.push(big);
+        let mut model = GnnModel::new(GnnConfig {
+            hidden: 8,
+            opcode_embed_dim: 4,
+            hops: 1,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let scfg = StreamConfig {
+            segment_nodes: 32,
+            ..Default::default()
+        };
+        let report =
+            train_stream(&mut model, &samples[..], &samples, &cfg, &scfg).unwrap();
+        assert_eq!(report.train_loss.len(), 2);
+        assert!(report.train_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn mix_seed_spreads_inputs() {
+        let a = mix_seed(17, 0, 0);
+        let b = mix_seed(17, 0, 1);
+        let c = mix_seed(17, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(mix_seed(17, 3, 9), mix_seed(17, 3, 9));
     }
 }
 

@@ -57,6 +57,10 @@ pub enum CorpusScale {
     Full,
     /// A small corpus for tests and quick runs (~14 programs).
     Tiny,
+    /// TpuGraphs-scale: the full corpus plus ~10x sweeps of deeper/wider
+    /// family parameterizations and fused multi-tower programs emitted as
+    /// single large training graphs.
+    Large,
 }
 
 impl Corpus {
@@ -65,6 +69,7 @@ impl Corpus {
         let entries = match scale {
             CorpusScale::Full => full_corpus(),
             CorpusScale::Tiny => tiny_corpus(),
+            CorpusScale::Large => large_corpus(),
         };
         Corpus { entries }
     }
@@ -432,6 +437,238 @@ fn full_corpus() -> Vec<Entry> {
     v
 }
 
+/// The TpuGraphs-scale corpus: every full-corpus program plus systematic
+/// deeper/wider sweeps of each family and fused multi-tower programs —
+/// roughly an order of magnitude more training examples than
+/// [`CorpusScale::Full`] once the fusion pipeline expands each program
+/// into kernels. The sweeps deliberately reach past [`FUSION_NODE_LIMIT`]
+/// so the corpus contains whole-graph examples that only segment training
+/// can fit in a step budget.
+fn large_corpus() -> Vec<Entry> {
+    let mut v = full_corpus();
+
+    // Deeper/wider residual-CNN sweeps.
+    for batch in [2usize, 4, 8, 16] {
+        for px in [14usize, 28] {
+            for w in [32usize, 64, 96] {
+                for blk in [2usize, 3, 4, 6] {
+                    v.push(e(
+                        models::resnet_v1(&format!("L_resnet_v1_b{batch}p{px}w{w}k{blk}"), batch, px, w, blk),
+                        "resnet_v1",
+                    ));
+                    v.push(e(
+                        models::resnet_v2(&format!("L_resnet_v2_b{batch}p{px}w{w}k{blk}"), batch, px, w, blk),
+                        "resnet_v2",
+                    ));
+                }
+            }
+        }
+    }
+
+    // VGG stacks.
+    for batch in [4usize, 8, 16] {
+        for px in [32usize, 64] {
+            for w in [16usize, 32, 48] {
+                for st in [2usize, 3] {
+                    v.push(e(
+                        models::vgg(&format!("L_vgg_b{batch}p{px}w{w}s{st}"), batch, px, w, st),
+                        "vgg",
+                    ));
+                }
+            }
+        }
+    }
+
+    // LeNet batch ladder.
+    for batch in [16usize, 32, 64, 128, 256, 512, 1024] {
+        v.push(e(models::lenet(&format!("L_lenet_b{batch}"), batch), "lenet"));
+    }
+
+    // SSD grid.
+    for batch in [2usize, 4, 8] {
+        for px in [32usize, 48, 64] {
+            for w in [16usize, 24, 32] {
+                v.push(e(models::ssd(&format!("L_ssd_b{batch}p{px}w{w}"), batch, px, w), "ssd"));
+            }
+        }
+    }
+
+    // ConvDRAW step/width sweep.
+    for batch in [4usize, 8, 16] {
+        for px in [16usize, 24] {
+            for steps in [3usize, 5, 7] {
+                for hidden in [128usize, 256] {
+                    v.push(e(
+                        models::convdraw(
+                            &format!("L_convdraw_b{batch}p{px}s{steps}h{hidden}"),
+                            batch, px, steps, hidden,
+                        ),
+                        "convdraw",
+                    ));
+                }
+            }
+        }
+    }
+
+    // Recurrent families: longer unrolls, wider cells.
+    for steps in [6usize, 8, 12, 16, 24] {
+        for hidden in [256usize, 384, 512, 768] {
+            v.push(e(
+                models::wavernn(&format!("L_wavernn_s{steps}h{hidden}"), steps, hidden),
+                "wavernn",
+            ));
+        }
+    }
+    for steps in [6usize, 10, 16, 24] {
+        for hidden in [256usize, 384, 512, 768] {
+            for vocab in [512usize, 1024, 2048] {
+                v.push(e(
+                    models::rnn_lm(&format!("L_rnn_lm_s{steps}h{hidden}v{vocab}"), steps, hidden, vocab),
+                    "rnn_lm",
+                ));
+            }
+        }
+    }
+    for steps in [5usize, 8, 12] {
+        for hidden in [192usize, 384, 512] {
+            for vocab in [384usize, 1024, 2048] {
+                v.push(e(
+                    models::gru_lm(&format!("L_gru_lm_s{steps}h{hidden}v{vocab}"), steps, hidden, vocab),
+                    "gru_lm",
+                ));
+                v.push(e(
+                    models::lstm_lm(&format!("L_lstm_lm_s{steps}h{hidden}v{vocab}"), steps, hidden, vocab),
+                    "lstm_lm",
+                ));
+            }
+        }
+    }
+
+    // Attention families.
+    for es in [6usize, 10] {
+        for ds in [6usize, 10] {
+            for hidden in [256usize, 384, 512] {
+                for vocab in [1024usize, 2048] {
+                    v.push(e(
+                        models::nmt(&format!("L_nmt_e{es}d{ds}h{hidden}v{vocab}"), es, ds, hidden, vocab),
+                        "nmt",
+                    ));
+                }
+            }
+        }
+    }
+    for layers in [1usize, 2, 4, 6] {
+        for seq in [64usize, 128, 192] {
+            for d in [128usize, 256, 320] {
+                v.push(e(
+                    models::transformer(&format!("L_transformer_l{layers}s{seq}d{d}"), layers, seq, d, 4),
+                    "transformer",
+                ));
+            }
+        }
+    }
+    for layers in [2usize, 4, 6] {
+        for seq in [96usize, 128, 160] {
+            for d in [192usize, 256, 320] {
+                v.push(e(
+                    models::bert_lite(&format!("L_bert_l{layers}s{seq}d{d}"), layers, seq, d),
+                    "bert_lite",
+                ));
+            }
+        }
+    }
+
+    // Dense families.
+    for batch in [128usize, 256, 512, 1024, 2048] {
+        for (wi, widths) in [
+            vec![512usize, 1024, 512],
+            vec![1024, 2048, 2048, 1024],
+            vec![2048, 4096, 2048],
+            vec![1024, 2048, 4096, 2048, 1024],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            v.push(e(models::mlp(&format!("L_mlp_b{batch}w{wi}"), batch, &widths), "mlp"));
+        }
+    }
+    for batch in [64usize, 128, 256, 512] {
+        for dim in [1024usize, 2048, 4096] {
+            for code in [128usize, 256, 512] {
+                v.push(e(
+                    models::autoencoder(&format!("L_ae_b{batch}d{dim}c{code}"), batch, dim, code),
+                    "autoencoder",
+                ));
+            }
+        }
+    }
+    for chars in [64usize, 96, 128, 192, 256] {
+        for dim in [128usize, 192, 256] {
+            v.push(e(
+                models::char2feats(&format!("L_c2f_c{chars}d{dim}"), chars, dim),
+                "char2feats",
+            ));
+        }
+    }
+    for batch in [256usize, 512, 1024] {
+        for wide in [2048usize, 4096] {
+            v.push(e(
+                models::deep_and_wide(&format!("L_dw_b{batch}w{wide}"), batch, wide, &[1024, 512, 256]),
+                "deep_and_wide",
+            ));
+        }
+        for dim in [64usize, 128, 256] {
+            v.push(e(models::ncf(&format!("L_ncf_b{batch}d{dim}"), batch, dim), "ncf"));
+        }
+    }
+
+    // Held-out-family variants.
+    for (i, (batch, px, w, blk)) in
+        [(8usize, 32usize, 64usize, 2usize), (4, 32, 96, 2), (2, 32, 128, 3)]
+            .into_iter()
+            .enumerate()
+    {
+        v.push(e(models::inception(&format!("L_inception_{i}"), batch, px, w, blk), "inception"));
+    }
+    for (i, (batch, px, w)) in [(2usize, 32usize, 48usize), (4, 32, 64), (2, 64, 32)]
+        .into_iter()
+        .enumerate()
+    {
+        v.push(e(models::unet(&format!("L_unet_{i}"), batch, px, w), "unet"));
+    }
+
+    // Fused multi-kernel programs: single graphs far past
+    // FUSION_NODE_LIMIT, only trainable via whole-graph records + segments.
+    for towers in [2usize, 4, 6] {
+        for depth in [2usize, 4, 8] {
+            for w in [16usize, 32] {
+                v.push(e(
+                    models::multi_tower(&format!("L_fused_mt_t{towers}d{depth}w{w}"), 2, 14, w, towers, depth),
+                    "fused_multi_tower",
+                ));
+            }
+        }
+    }
+    for stages in [8usize, 16, 32, 48] {
+        for dim in [256usize, 512, 1024] {
+            v.push(e(
+                models::stacked_pipeline(&format!("L_fused_sp_s{stages}d{dim}"), 64, dim, stages),
+                "fused_pipeline",
+            ));
+        }
+    }
+    for depth in [2usize, 4, 8] {
+        for dim in [128usize, 256] {
+            v.push(e(
+                models::conv_dense_hybrid(&format!("L_fused_cd_d{depth}w{dim}"), 2, 16, 16, dim, depth),
+                "fused_hybrid",
+            ));
+        }
+    }
+
+    v
+}
+
 fn tiny_corpus() -> Vec<Entry> {
     vec![
         e(models::resnet_v1("ResNet v1", 4, 28, 32, 2), "resnet_v1"),
@@ -507,6 +744,35 @@ mod tests {
 #[cfg(test)]
 mod full_tests {
     use super::*;
+
+    #[test]
+    #[ignore = "builds the ~900-program large corpus; run explicitly"]
+    fn large_corpus_validates_and_scales() {
+        let c = Corpus::build(CorpusScale::Large);
+        let full = Corpus::build(CorpusScale::Full);
+        assert!(
+            c.len() >= 7 * full.len(),
+            "large corpus has {} programs, full has {}",
+            c.len(),
+            full.len()
+        );
+        let mut names = std::collections::HashSet::new();
+        let mut past_limit = 0usize;
+        for entry in &c.entries {
+            assert!(
+                entry.program.computation.validate().is_ok(),
+                "{} invalid",
+                entry.program.name
+            );
+            assert!(names.insert(entry.program.name.clone()), "duplicate name {}", entry.program.name);
+            if entry.program.num_nodes() > FUSION_NODE_LIMIT {
+                past_limit += 1;
+            }
+        }
+        // The large corpus must contain graphs only whole-graph records +
+        // segment training can handle.
+        assert!(past_limit >= 20, "only {past_limit} programs past the fusion limit");
+    }
 
     #[test]
     #[ignore = "builds the full 104-program corpus; run explicitly"]

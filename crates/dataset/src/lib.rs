@@ -32,6 +32,7 @@ mod export;
 mod fusion_ds;
 pub mod models;
 mod stats;
+mod stream;
 mod tile_ds;
 
 pub use corpus::{
@@ -45,4 +46,8 @@ pub use fusion_ds::{
     build_fusion_dataset, program_kernels, FusionDataset, FusionDatasetConfig, KernelExample,
 };
 pub use stats::{fraction_below_5us, fusion_stats, tile_stats, SplitStats};
+pub use stream::{
+    stream_corpus, whole_graph_example, DatasetReader, DatasetWriter, RecordMeta, StreamError,
+    StreamGenConfig, StreamSummary, MAGIC as STREAM_MAGIC, VERSION as STREAM_VERSION,
+};
 pub use tile_ds::{build_tile_dataset, TileDataset, TileDatasetConfig, TileExample};

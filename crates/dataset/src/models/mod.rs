@@ -5,10 +5,12 @@
 mod attention;
 mod cnn;
 mod common;
+mod fused;
 mod misc;
 mod rnn;
 
 pub use attention::{bert_lite, nmt, transformer};
 pub use cnn::{inception, lenet, resnet_v1, resnet_v2, ssd, unet, vgg};
+pub use fused::{conv_dense_hybrid, multi_tower, stacked_pipeline};
 pub use misc::{autoencoder, char2feats, convdraw, deep_and_wide, mlp, ncf, resnet_parallel};
 pub use rnn::{gru_lm, lstm_lm, rnn_lm, wavernn};

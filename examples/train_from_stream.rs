@@ -1,0 +1,68 @@
+//! Train the GNN cost model directly from a `tpu-ds.v1` streamed dataset
+//! file, loading one batch at a time — the corpus never sits in memory.
+//!
+//! ```text
+//! cargo run --release --example train_from_stream -- \
+//!     datasets/fusion.tpuds [--epochs N]
+//! ```
+//!
+//! Build the dataset first with
+//! `cargo run --release -p tpu-dataset --bin build_datasets -- --format bin`.
+
+use tpu_repro::dataset::DatasetReader;
+use tpu_repro::learned::{
+    train_stream, BatchSource, GnnConfig, GnnModel, StreamConfig, TrainConfig,
+};
+
+fn main() {
+    let mut path = None;
+    let mut epochs = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs needs a number")
+            }
+            other => path = Some(std::path::PathBuf::from(other)),
+        }
+    }
+    let path = path.expect("usage: train_from_stream <dataset.tpuds> [--epochs N]");
+
+    let reader = DatasetReader::open(&path).expect("open streamed dataset");
+    println!(
+        "dataset {}: {} records, feature dim {}",
+        path.display(),
+        reader.len(),
+        reader.feature_dim()
+    );
+
+    // Hold out the last few records as a validation set; everything else
+    // streams from disk per batch.
+    let val_idx: Vec<usize> = (reader.len().saturating_sub(16)..reader.len()).collect();
+    let val = reader.load(&val_idx).expect("load validation examples");
+
+    let mut model = GnnModel::new(GnnConfig {
+        hidden: 16,
+        opcode_embed_dim: 8,
+        hops: 1,
+        ..Default::default()
+    });
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        max_batches_per_epoch: 50,
+        ..Default::default()
+    };
+    let report = train_stream(&mut model, &reader, &val, &cfg, &StreamConfig::default())
+        .expect("streamed training");
+    for (e, loss) in report.train_loss.iter().enumerate() {
+        println!("epoch {e}: train loss {loss:.4}");
+    }
+    println!(
+        "best val MAPE {:.1}% at epoch {}",
+        report.best_val, report.best_epoch
+    );
+}
