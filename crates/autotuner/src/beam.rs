@@ -1,0 +1,933 @@
+//! Model-guided beam search over the fusion(+tile) configuration space
+//! (ROADMAP item 4: learned-model-guided tree search to augment SA).
+//!
+//! The searcher walks the fusion decisions in edge order: a *state* at
+//! depth `d` is a complete [`FusionConfig`] whose first `d` decisions are
+//! committed and whose remaining bits keep the start configuration's
+//! values — so every state is a full configuration the cost model can
+//! score, and depth `E` states are fully decided. Each depth expands every
+//! beam state into its two children (decision `d` = unfused / fused),
+//! dedups them, and scores the whole layer through **one**
+//! [`BatchObjective::evaluate`] call — the same batch-first contract the
+//! annealer uses, so a model-backed objective turns a layer into a single
+//! packed forward over all candidates' cache misses.
+//!
+//! # Transposition table
+//!
+//! Distinct fusion configurations frequently decompose into *structurally
+//! identical* fused programs (the fusion pass forces materializations, so
+//! many decision vectors collapse to one kernel set). The search keys a
+//! transposition table by [`fused_structure_hash`] — the canonical kernel
+//! hashes of the fused program, folded in emission order — and reuses the
+//! lock-free [`AtomicCache`] for storage: torn or foreign entries verify
+//! as misses, lossy replacement, zero locks. A TT hit returns the exact
+//! bits a fresh evaluation would (objectives are deterministic functions
+//! of the fused structure) and costs zero model evaluations, which is what
+//! lets the beam cover more of the space than its eval budget alone would
+//! allow. `AtomicCache::with_capacity(0)` (or `use_tt: false`) disables
+//! reuse without changing any scored cost.
+//!
+//! # Pruning
+//!
+//! After a layer is scored, the incumbent is the best predicted cost seen
+//! anywhere in the search. A candidate is **margin-pruned** only when its
+//! cost exceeds `incumbent * (1 + prune_margin)` — pruning never drops a
+//! candidate whose predicted cost is within the margin of (or beats) the
+//! incumbent; those can only fall to beam-width truncation, which keeps
+//! strictly better-ranked candidates. The margin is a tunable
+//! [`SearchParams`] hyperparameter; [`spsa_tune`] optimizes it (and the
+//! beam width) against a caller-supplied objective, e.g. tuned true
+//! runtime on the simulator ([`tune_search_params`]).
+//!
+//! # Determinism
+//!
+//! The search contains no randomness: candidates are generated in beam
+//! order (previous layer sorted ascending by predicted cost — the
+//! model-guided ordering) with the unfused child before the fused one,
+//! layers are reduced with a stable sort keyed by `f64::total_cmp`, and
+//! all parallelism lives inside the objective's order-preserving batch
+//! evaluation and the order-preserving parallel hash of the layer. Results
+//! are bit-identical for any `RAYON_NUM_THREADS`, any beam width, and any
+//! TT pre-warmth (a warm TT changes how many evals are *spent*, never a
+//! scored cost).
+
+use crate::sa::{push_top, BatchObjective};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tpu_fusion::{apply_fusion, FusionConfig, FusionSpace};
+use tpu_hlo::{canonical_kernel_hash, Program};
+use tpu_learned_cost::{AtomicCache, CostModel, Predictor};
+use tpu_obs::{Counter, Gauge, Histogram, Registry};
+use tpu_sim::TpuDevice;
+
+/// Hyperparameters of the beam search. `prune_margin` and `beam_width`
+/// are the SPSA-tunable pair (see [`spsa_tune`]); the rest plumb budgets
+/// and reuse policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchParams {
+    /// States kept per depth after pruning (>= 1).
+    pub beam_width: usize,
+    /// Relative prune margin: a candidate survives margin pruning iff its
+    /// cost is `<= incumbent * (1 + prune_margin)`.
+    pub prune_margin: f64,
+    /// Model-eval budget: configurations scored through the objective
+    /// during the layer loop (the shared start evaluation is free,
+    /// mirroring how SA's `steps` excludes the start). TT hits and
+    /// intra-layer duplicates spend nothing.
+    pub max_evals: usize,
+    /// Keep the best `top_k` distinct configs seen (for the §6.3 hardware
+    /// re-rank).
+    pub top_k: usize,
+    /// Seed for the random start mode and the SPSA meta-loop. The beam
+    /// itself is deterministic and never draws from it.
+    pub seed: u64,
+    /// Whether to consult/fill the transposition table.
+    pub use_tt: bool,
+    /// Slots of the internally-created TT (when the caller does not pass
+    /// one). 0 disables reuse even with `use_tt: true`.
+    pub tt_slots: usize,
+    /// Joint fusion+tile search: per-kernel tile candidates the model
+    /// objective folds into each config's score (0 = fusion-only). Used by
+    /// the harness to build a tiled objective; the search core is
+    /// objective-agnostic.
+    pub tile_candidates: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            beam_width: 8,
+            prune_margin: 0.25,
+            max_evals: usize::MAX >> 1,
+            top_k: 16,
+            seed: 7,
+            use_tt: true,
+            tt_slots: 1 << 16,
+            tile_candidates: 0,
+        }
+    }
+}
+
+/// Search accounting, bit-comparable across runs (the determinism suite
+/// asserts equality of the whole struct).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BeamStats {
+    /// Candidate states generated (post-dedup) across all layers.
+    pub expanded: u64,
+    /// Configurations scored through the objective (including the start).
+    pub scored: u64,
+    /// Layer candidates answered by the transposition table.
+    pub tt_hits: u64,
+    /// Costs written into the transposition table.
+    pub tt_stores: u64,
+    /// Candidates dropped because their cost exceeded the margin cut.
+    pub margin_pruned: u64,
+    /// Candidates dropped by beam-width truncation.
+    pub width_pruned: u64,
+    /// Batched objective calls.
+    pub batches: u64,
+    /// Layers fully processed.
+    pub depths: u64,
+}
+
+/// Result of a beam run.
+#[derive(Debug, Clone)]
+pub struct BeamResult {
+    /// Best configuration found (ties broken toward generation order).
+    pub best_config: FusionConfig,
+    /// Its objective value.
+    pub best_cost: f64,
+    /// Configurations scored through the objective (including the start).
+    pub evals: usize,
+    /// The best `top_k` distinct configurations, ascending by cost.
+    pub top: Vec<(FusionConfig, f64)>,
+    /// Search accounting.
+    pub stats: BeamStats,
+}
+
+/// `tpu-obs` handles for the beam (`autotuner.beam.*`), resolved once per
+/// search. Instrumentation is read-only: the trajectory is bit-identical
+/// whether or not the registry is enabled.
+struct BeamObs {
+    expanded: Counter,
+    scored: Counter,
+    tt_hits: Counter,
+    tt_stores: Counter,
+    margin_pruned: Counter,
+    width_pruned: Counter,
+    batches: Counter,
+    batch_eval_ns: Histogram,
+    batch_size: Histogram,
+    depth: Gauge,
+    best_cost: Gauge,
+}
+
+impl BeamObs {
+    fn new(registry: &Registry) -> BeamObs {
+        BeamObs {
+            expanded: registry.counter("autotuner.beam.expanded"),
+            scored: registry.counter("autotuner.beam.scored"),
+            tt_hits: registry.counter("autotuner.beam.tt_hits"),
+            tt_stores: registry.counter("autotuner.beam.tt_stores"),
+            margin_pruned: registry.counter("autotuner.beam.margin_pruned"),
+            width_pruned: registry.counter("autotuner.beam.width_pruned"),
+            batches: registry.counter("autotuner.beam.batches"),
+            batch_eval_ns: registry.histogram("autotuner.beam.batch_eval_ns"),
+            batch_size: registry.histogram("autotuner.beam.batch_size"),
+            depth: registry.gauge("autotuner.beam.depth"),
+            best_cost: registry.gauge("autotuner.beam.best_cost"),
+        }
+    }
+
+    fn noop() -> BeamObs {
+        BeamObs {
+            expanded: Counter::noop(),
+            scored: Counter::noop(),
+            tt_hits: Counter::noop(),
+            tt_stores: Counter::noop(),
+            margin_pruned: Counter::noop(),
+            width_pruned: Counter::noop(),
+            batches: Counter::noop(),
+            batch_eval_ns: Histogram::noop(),
+            batch_size: Histogram::noop(),
+            depth: Gauge::noop(),
+            best_cost: Gauge::noop(),
+        }
+    }
+}
+
+/// The transposition-table key of a configuration: the canonical kernel
+/// hashes of its fused program, folded in emission order. Two configs with
+/// the same key decompose into structurally identical kernel sets, so any
+/// deterministic objective gives them bit-equal costs — which is what
+/// makes a TT hit exactly substitutable for a fresh evaluation.
+pub fn fused_structure_hash(program: &Program, space: &FusionSpace, config: &FusionConfig) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let fused = apply_fusion(program, space, config);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    fused.kernels.len().hash(&mut h);
+    for k in &fused.kernels {
+        canonical_kernel_hash(k).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The margin cut: costs strictly above it are prunable. Infinite
+/// incumbents (nothing scoreable yet) disable margin pruning.
+pub fn margin_cut(incumbent: f64, margin: f64) -> f64 {
+    if incumbent.is_finite() {
+        incumbent * (1.0 + margin.max(0.0))
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Reduce one scored layer to the next beam: margin-prune against the
+/// incumbent, stable-sort ascending by cost (ties keep generation order),
+/// truncate to the beam width. Pure and deterministic — the proptest suite
+/// drives it directly. `layer` must contain no NaN costs.
+///
+/// Returns `(kept, margin_pruned, width_pruned)`.
+pub fn reduce_layer(
+    layer: &[(FusionConfig, f64)],
+    incumbent: f64,
+    width: usize,
+    margin: f64,
+) -> (Vec<(FusionConfig, f64)>, u64, u64) {
+    let cut = margin_cut(incumbent, margin);
+    let mut kept: Vec<(FusionConfig, f64)> = layer
+        .iter()
+        .filter(|(_, c)| *c <= cut)
+        .cloned()
+        .collect();
+    let margin_pruned = (layer.len() - kept.len()) as u64;
+    kept.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let width_pruned = kept.len().saturating_sub(width.max(1)) as u64;
+    kept.truncate(width.max(1));
+    (kept, margin_pruned, width_pruned)
+}
+
+/// Outcome of scoring one candidate layer.
+struct LayerScore {
+    /// Cost per candidate, positionally. NaN marks "not evaluated"
+    /// (budget exhausted before this candidate's miss was admitted).
+    costs: Vec<f64>,
+    /// Objective evaluations consumed (unique, non-NaN-scored misses).
+    spent: usize,
+    /// The search must stop after consuming this layer.
+    exhausted: bool,
+}
+
+/// Score `cands` through the TT and at most `remaining` objective
+/// evaluations: TT hits and intra-layer duplicates are free, the unique
+/// misses go to the objective as one batch in candidate order (so when the
+/// budget truncates the batch, it is the best-ordered candidates that get
+/// scored).
+#[allow(clippy::too_many_arguments)]
+fn score_candidates<O: BatchObjective>(
+    program: &Program,
+    space: &FusionSpace,
+    cands: &[FusionConfig],
+    objective: &mut O,
+    tt: &AtomicCache,
+    use_tt: bool,
+    remaining: usize,
+    stats: &mut BeamStats,
+    obs: &BeamObs,
+) -> LayerScore {
+    let n = cands.len();
+    let hashes: Vec<u64> = cands
+        .par_iter()
+        .map(|c| fused_structure_hash(program, space, c))
+        .collect();
+    let mut costs = vec![f64::NAN; n];
+    let mut resolved = vec![false; n];
+    if use_tt {
+        for i in 0..n {
+            if let Some(Some(c)) = tt.lookup_hash(hashes[i]) {
+                costs[i] = c;
+                resolved[i] = true;
+                stats.tt_hits += 1;
+                obs.tt_hits.inc();
+            }
+        }
+    }
+
+    // Unique misses, first occurrence wins, candidate order preserved.
+    let mut miss_pos = vec![usize::MAX; n];
+    let mut miss_cands: Vec<FusionConfig> = Vec::new();
+    let mut miss_hashes: Vec<u64> = Vec::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for i in 0..n {
+        if resolved[i] {
+            continue;
+        }
+        let pos = *seen.entry(hashes[i]).or_insert_with(|| {
+            miss_cands.push(cands[i].clone());
+            miss_hashes.push(hashes[i]);
+            miss_cands.len() - 1
+        });
+        miss_pos[i] = pos;
+    }
+
+    let admitted = miss_cands.len().min(remaining);
+    let budget_exhausted = miss_cands.len() > remaining;
+    let mut miss_costs = vec![f64::NAN; miss_cands.len()];
+    let mut objective_exhausted = false;
+    if admitted > 0 {
+        let timer = obs.batch_eval_ns.start_timer();
+        let evals = objective.evaluate(&miss_cands[..admitted]);
+        timer.stop();
+        stats.batches += 1;
+        obs.batches.inc();
+        obs.batch_size.observe(admitted as u64);
+        for (j, cost) in evals.into_iter().enumerate() {
+            if cost.is_nan() {
+                // Budget-exhausted sentinel: every later position is NaN
+                // too (the BatchObjective contract) — stop consuming.
+                objective_exhausted = true;
+                break;
+            }
+            miss_costs[j] = cost;
+            stats.scored += 1;
+            obs.scored.inc();
+            if use_tt {
+                tt.insert_hash(miss_hashes[j], Some(cost));
+                stats.tt_stores += 1;
+                obs.tt_stores.inc();
+            }
+        }
+    }
+    let spent = miss_costs.iter().filter(|c| !c.is_nan()).count();
+    for i in 0..n {
+        if miss_pos[i] != usize::MAX {
+            costs[i] = miss_costs[miss_pos[i]];
+        }
+    }
+    LayerScore {
+        costs,
+        spent,
+        exhausted: budget_exhausted || objective_exhausted,
+    }
+}
+
+/// [`beam_search_with_tt`] with an internally-created transposition table
+/// (`params.tt_slots` slots when `params.use_tt`, else disabled).
+pub fn beam_search<O: BatchObjective>(
+    program: &Program,
+    space: &FusionSpace,
+    start: FusionConfig,
+    objective: O,
+    params: &SearchParams,
+) -> BeamResult {
+    beam_search_observed(program, space, start, objective, params, &Registry::noop())
+}
+
+/// [`beam_search`] with `autotuner.beam.*` metrics recorded into
+/// `registry`.
+pub fn beam_search_observed<O: BatchObjective>(
+    program: &Program,
+    space: &FusionSpace,
+    start: FusionConfig,
+    objective: O,
+    params: &SearchParams,
+    registry: &Registry,
+) -> BeamResult {
+    let slots = if params.use_tt { params.tt_slots } else { 0 };
+    let tt = AtomicCache::with_capacity(slots);
+    beam_search_with_tt(program, space, start, objective, params, &tt, registry)
+}
+
+/// Run the beam search, sharing `tt` with the caller — pass the same table
+/// across runs on the same program (and objective) to carry predictions
+/// over, exactly like the prediction cache carries kernel costs.
+///
+/// The search stops when the decision depth is exhausted, the beam empties
+/// (everything margin-pruned), `params.max_evals` objective evaluations
+/// are spent, or the objective signals budget exhaustion with `f64::NAN`.
+pub fn beam_search_with_tt<O: BatchObjective>(
+    program: &Program,
+    space: &FusionSpace,
+    start: FusionConfig,
+    mut objective: O,
+    params: &SearchParams,
+    tt: &AtomicCache,
+    registry: &Registry,
+) -> BeamResult {
+    let obs = if registry.is_enabled() {
+        BeamObs::new(registry)
+    } else {
+        BeamObs::noop()
+    };
+    let width = params.beam_width.max(1);
+    let mut stats = BeamStats::default();
+
+    // The start evaluation is shared and budget-free, mirroring SA.
+    let sc = score_candidates(
+        program,
+        space,
+        std::slice::from_ref(&start),
+        &mut objective,
+        tt,
+        params.use_tt,
+        usize::MAX,
+        &mut stats,
+        &obs,
+    );
+    let start_cost = sc.costs[0];
+    if start_cost.is_nan() {
+        // Budget exhausted on the very first evaluation.
+        return BeamResult {
+            best_config: start,
+            best_cost: f64::INFINITY,
+            evals: stats.scored as usize,
+            top: Vec::new(),
+            stats,
+        };
+    }
+    let mut top: Vec<(FusionConfig, f64)> = Vec::new();
+    push_top(&start, start_cost, params.top_k, &mut top);
+    let mut best = start.clone();
+    let mut best_cost = start_cost;
+    let mut beam: Vec<(FusionConfig, f64)> = vec![(start, start_cost)];
+    let mut spent = 0usize;
+    let mut exhausted = false;
+
+    for depth in 0..space.num_edges() {
+        if exhausted || beam.is_empty() || spent >= params.max_evals {
+            break;
+        }
+        // Expand in beam order (ascending predicted cost), unfused child
+        // first, dedup by configuration.
+        let mut dedup: HashSet<FusionConfig> = HashSet::with_capacity(beam.len() * 2);
+        let mut cands: Vec<FusionConfig> = Vec::with_capacity(beam.len() * 2);
+        for (cfg, _) in &beam {
+            for bit in [false, true] {
+                let mut child = cfg.clone();
+                child.decisions[depth] = bit;
+                if dedup.insert(child.clone()) {
+                    cands.push(child);
+                }
+            }
+        }
+        stats.expanded += cands.len() as u64;
+        obs.expanded.add(cands.len() as u64);
+
+        let ls = score_candidates(
+            program,
+            space,
+            &cands,
+            &mut objective,
+            tt,
+            params.use_tt,
+            params.max_evals - spent,
+            &mut stats,
+            &obs,
+        );
+        spent += ls.spent;
+        exhausted = ls.exhausted;
+
+        let layer: Vec<(FusionConfig, f64)> = cands
+            .into_iter()
+            .zip(ls.costs)
+            .filter(|(_, c)| !c.is_nan())
+            .collect();
+        for (cfg, cost) in &layer {
+            if cost.is_finite() {
+                push_top(cfg, *cost, params.top_k, &mut top);
+                if *cost < best_cost {
+                    best = cfg.clone();
+                    best_cost = *cost;
+                }
+            }
+        }
+        let (kept, margin_pruned, width_pruned) =
+            reduce_layer(&layer, best_cost, width, params.prune_margin);
+        stats.margin_pruned += margin_pruned;
+        stats.width_pruned += width_pruned;
+        obs.margin_pruned.add(margin_pruned);
+        obs.width_pruned.add(width_pruned);
+        beam = kept;
+        stats.depths += 1;
+        obs.depth.set((depth + 1) as f64);
+    }
+
+    obs.best_cost.set(best_cost);
+    BeamResult {
+        best_config: best,
+        best_cost,
+        evals: stats.scored as usize,
+        top,
+        stats,
+    }
+}
+
+/// SPSA (simultaneous perturbation stochastic approximation) schedule for
+/// the prune-margin/beam-width meta-loop.
+#[derive(Debug, Clone)]
+pub struct SpsaConfig {
+    /// Gradient iterations; each costs two objective evaluations.
+    pub iters: usize,
+    /// RNG seed for the Bernoulli perturbation directions.
+    pub seed: u64,
+    /// Step-size scale (`a_k = a / (A + k + 1)^0.602`).
+    pub a: f64,
+    /// Perturbation scale (`c_k = c / (k + 1)^0.101`).
+    pub c: f64,
+    /// Stability constant `A`.
+    pub stability: f64,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig {
+            iters: 6,
+            seed: 17,
+            a: 0.25,
+            c: 0.15,
+            stability: 2.0,
+        }
+    }
+}
+
+/// In the normalized SPSA coordinates, `u[0]` is the prune margin on
+/// `[0, 1]` and `u[1]` maps affinely to a beam width on `[1, 16]`.
+fn params_at(u: [f64; 2], base: &SearchParams) -> SearchParams {
+    SearchParams {
+        prune_margin: u[0],
+        beam_width: (1.0 + u[1] * 15.0).round().max(1.0) as usize,
+        ..base.clone()
+    }
+}
+
+/// Minimize `objective` over (prune_margin, beam_width) with seeded SPSA:
+/// both hyperparameters live in a normalized unit square, each iteration
+/// perturbs them simultaneously along a Bernoulli direction and steps
+/// against the estimated gradient. Deterministic for a given
+/// [`SpsaConfig::seed`]. Returns the best parameters *evaluated* (every
+/// probe counts, so a lucky perturbation is never thrown away) and their
+/// objective value.
+pub fn spsa_tune<F: FnMut(&SearchParams) -> f64>(
+    base: &SearchParams,
+    cfg: &SpsaConfig,
+    mut objective: F,
+) -> (SearchParams, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let clamp01 = |u: [f64; 2]| [u[0].clamp(0.0, 1.0), u[1].clamp(0.0, 1.0)];
+    let mut u = clamp01([
+        base.prune_margin,
+        (base.beam_width as f64 - 1.0) / 15.0,
+    ]);
+    let mut best_params = params_at(u, base);
+    let mut best_y = objective(&best_params);
+    for k in 0..cfg.iters {
+        let ak = cfg.a / (cfg.stability + k as f64 + 1.0).powf(0.602);
+        let ck = cfg.c / (k as f64 + 1.0).powf(0.101);
+        let delta = [
+            if rng.gen::<bool>() { 1.0 } else { -1.0 },
+            if rng.gen::<bool>() { 1.0 } else { -1.0 },
+        ];
+        let up = clamp01([u[0] + ck * delta[0], u[1] + ck * delta[1]]);
+        let um = clamp01([u[0] - ck * delta[0], u[1] - ck * delta[1]]);
+        let yp = objective(&params_at(up, base));
+        let ym = objective(&params_at(um, base));
+        if yp < best_y {
+            best_y = yp;
+            best_params = params_at(up, base);
+        }
+        if ym < best_y {
+            best_y = ym;
+            best_params = params_at(um, base);
+        }
+        if yp.is_finite() && ym.is_finite() {
+            let g = (yp - ym) / (2.0 * ck);
+            u = clamp01([u[0] - ak * g * delta[0], u[1] - ak * g * delta[1]]);
+        }
+    }
+    let final_params = params_at(u, base);
+    let final_y = objective(&final_params);
+    if final_y < best_y {
+        (final_params, final_y)
+    } else {
+        (best_params, best_y)
+    }
+}
+
+/// Tune (prune_margin, beam_width) for one program against the simulator:
+/// each SPSA probe runs a full model-guided beam from the default config
+/// and scores the found configuration by its *noiseless true runtime* on
+/// `device` — the meta-loop the prune margin is calibrated by. Each probe
+/// gets a fresh prediction cache and TT so hyperparameters are compared
+/// from equal footing. Deterministic for fixed seeds.
+pub fn tune_search_params<M: CostModel + ?Sized>(
+    program: &Program,
+    device: &TpuDevice,
+    model: &M,
+    base: &SearchParams,
+    cfg: &SpsaConfig,
+) -> (SearchParams, f64) {
+    let (space, start) = tpu_fusion::default_space_and_config(&program.computation);
+    spsa_tune(base, cfg, |params| {
+        let cache = Arc::new(AtomicCache::with_capacity(1 << 14));
+        let predictor = Predictor::with_cache(model, Arc::clone(&cache));
+        let objective = crate::harness::ModelObjective::new(program, &space, &predictor);
+        let result = beam_search(program, &space, start.clone(), objective, params);
+        let fused = apply_fusion(program, &space, &result.best_config);
+        device.true_program_time(&fused)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_hlo::{DType, GraphBuilder, Shape};
+
+    fn chain_program(n: usize) -> Program {
+        let mut b = GraphBuilder::new("main");
+        let mut v = b.parameter("x", Shape::matrix(256, 256), DType::F32);
+        for i in 0..n {
+            v = if i % 2 == 0 { b.tanh(v) } else { b.exp(v) };
+        }
+        Program::new("chain", b.finish(v))
+    }
+
+    /// Number of unfused edges — optimum is the all-fused config.
+    fn unfused_edges(c: &FusionConfig) -> f64 {
+        (c.decisions.len() - c.num_fused()) as f64
+    }
+
+    #[test]
+    fn beam_finds_all_fused_optimum() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| unfused_edges(c),
+            &SearchParams::default(),
+        );
+        assert_eq!(result.best_cost, 0.0, "should find the all-fused config");
+        assert_eq!(result.best_config, space.all());
+        assert_eq!(result.stats.depths, space.num_edges() as u64);
+    }
+
+    #[test]
+    fn width_one_is_greedy_descent() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| unfused_edges(c),
+            &SearchParams {
+                beam_width: 1,
+                ..Default::default()
+            },
+        );
+        // Greedy on a separable objective still reaches the optimum.
+        assert_eq!(result.best_cost, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let run = || {
+            beam_search(
+                &p,
+                &space,
+                space.none(),
+                |c: &FusionConfig| unfused_edges(c) * 3.25 + 1.0,
+                &SearchParams {
+                    beam_width: 4,
+                    ..Default::default()
+                },
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn tt_disabled_matches_enabled() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let run = |use_tt| {
+            beam_search(
+                &p,
+                &space,
+                space.none(),
+                |c: &FusionConfig| unfused_edges(c) + 0.125,
+                &SearchParams {
+                    use_tt,
+                    ..Default::default()
+                },
+            )
+        };
+        let with_tt = run(true);
+        let without = run(false);
+        assert_eq!(with_tt.best_config, without.best_config);
+        assert_eq!(with_tt.best_cost.to_bits(), without.best_cost.to_bits());
+        assert!(with_tt.stats.tt_hits > 0, "chains alias: TT must hit");
+        assert_eq!(without.stats.tt_hits, 0);
+        assert!(
+            with_tt.evals < without.evals,
+            "TT hits must save evals: {} vs {}",
+            with_tt.evals,
+            without.evals
+        );
+    }
+
+    #[test]
+    fn warm_tt_spends_zero_evals() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let params = SearchParams::default();
+        let tt = AtomicCache::with_capacity(1 << 12);
+        let registry = Registry::noop();
+        let objective = |c: &FusionConfig| unfused_edges(c);
+        let cold =
+            beam_search_with_tt(&p, &space, space.none(), objective, &params, &tt, &registry);
+        assert!(cold.evals > 0);
+        let warm =
+            beam_search_with_tt(&p, &space, space.none(), objective, &params, &tt, &registry);
+        assert_eq!(warm.evals, 0, "fully warm TT answers every candidate");
+        assert_eq!(warm.best_config, cold.best_config);
+        assert_eq!(warm.best_cost.to_bits(), cold.best_cost.to_bits());
+    }
+
+    #[test]
+    fn max_evals_budget_is_respected() {
+        let p = chain_program(12);
+        let space = FusionSpace::new(&p.computation);
+        let mut calls = 0usize;
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| {
+                calls += 1;
+                unfused_edges(c)
+            },
+            &SearchParams {
+                max_evals: 7,
+                use_tt: false,
+                ..Default::default()
+            },
+        );
+        // Start is free; the loop spends at most max_evals.
+        assert!(result.evals <= 8, "evals={}", result.evals);
+        assert_eq!(calls, result.evals);
+    }
+
+    #[test]
+    fn nan_objective_is_terminal() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let mut budget = 5usize;
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| {
+                if budget == 0 {
+                    return f64::NAN;
+                }
+                budget -= 1;
+                unfused_edges(c)
+            },
+            &SearchParams {
+                use_tt: false,
+                ..Default::default()
+            },
+        );
+        assert!(result.evals <= 5, "evals={}", result.evals);
+        assert!(result.best_cost.is_finite());
+    }
+
+    #[test]
+    fn zero_margin_still_keeps_improving_candidates() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| unfused_edges(c),
+            &SearchParams {
+                prune_margin: 0.0,
+                ..Default::default()
+            },
+        );
+        // margin 0 prunes everything above the incumbent, but the
+        // monotone improving path survives to the optimum.
+        assert_eq!(result.best_cost, 0.0);
+        assert!(result.stats.margin_pruned > 0);
+    }
+
+    #[test]
+    fn reduce_layer_margin_and_width_semantics() {
+        let space = FusionSpace::new(&chain_program(4).computation);
+        let cfg = space.none();
+        let layer: Vec<(FusionConfig, f64)> = [3.0, 1.0, 1.05, 2.0, f64::INFINITY]
+            .iter()
+            .map(|&c| (cfg.clone(), c))
+            .collect();
+        // incumbent 1.0, margin 10%: cut at 1.1 — keeps 1.0 and 1.05.
+        let (kept, margin_pruned, width_pruned) = reduce_layer(&layer, 1.0, 8, 0.10);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].1, 1.0);
+        assert_eq!(kept[1].1, 1.05);
+        assert_eq!(margin_pruned, 3);
+        assert_eq!(width_pruned, 0);
+        // Width 1 drops the margin survivor ranked second.
+        let (kept, _, width_pruned) = reduce_layer(&layer, 1.0, 1, 0.10);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(width_pruned, 1);
+        // Infinite incumbent disables margin pruning entirely.
+        let (kept, margin_pruned, _) = reduce_layer(&layer, f64::INFINITY, 8, 0.10);
+        assert_eq!(kept.len(), layer.len());
+        assert_eq!(margin_pruned, 0);
+    }
+
+    #[test]
+    fn observed_beam_records_and_matches_plain() {
+        let p = chain_program(10);
+        let space = FusionSpace::new(&p.computation);
+        let objective = |c: &FusionConfig| unfused_edges(c) + 0.5;
+        let params = SearchParams {
+            beam_width: 4,
+            ..Default::default()
+        };
+        let plain = beam_search(&p, &space, space.none(), objective, &params);
+        let registry = Registry::enabled();
+        let observed =
+            beam_search_observed(&p, &space, space.none(), objective, &params, &registry);
+        assert_eq!(plain.best_config, observed.best_config);
+        assert_eq!(plain.best_cost.to_bits(), observed.best_cost.to_bits());
+        assert_eq!(plain.stats, observed.stats);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("autotuner.beam.scored"), Some(observed.stats.scored));
+        assert_eq!(snap.counter("autotuner.beam.expanded"), Some(observed.stats.expanded));
+        assert_eq!(snap.counter("autotuner.beam.tt_hits"), Some(observed.stats.tt_hits));
+        assert_eq!(
+            snap.counter("autotuner.beam.margin_pruned"),
+            Some(observed.stats.margin_pruned)
+        );
+        assert_eq!(snap.counter("autotuner.beam.batches"), Some(observed.stats.batches));
+        assert_eq!(snap.gauge("autotuner.beam.best_cost"), Some(observed.best_cost));
+        assert_eq!(
+            snap.gauge("autotuner.beam.depth"),
+            Some(observed.stats.depths as f64)
+        );
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_distinct() {
+        let p = chain_program(8);
+        let space = FusionSpace::new(&p.computation);
+        let result = beam_search(
+            &p,
+            &space,
+            space.none(),
+            |c: &FusionConfig| unfused_edges(c),
+            &SearchParams {
+                top_k: 5,
+                ..Default::default()
+            },
+        );
+        assert!(!result.top.is_empty() && result.top.len() <= 5);
+        for w in result.top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn spsa_minimizes_a_known_bowl() {
+        // Objective minimized at margin 0.6, width 4 — SPSA must get close
+        // from the default start.
+        let base = SearchParams::default();
+        let (best, y) = spsa_tune(&base, &SpsaConfig::default(), |p| {
+            (p.prune_margin - 0.6).powi(2) + ((p.beam_width as f64 - 4.0) / 15.0).powi(2)
+        });
+        assert!(y < 0.04, "spsa left too much on the table: y={y}");
+        assert!((best.prune_margin - 0.6).abs() < 0.25, "margin={}", best.prune_margin);
+    }
+
+    #[test]
+    fn spsa_deterministic_given_seed() {
+        let base = SearchParams::default();
+        let run = || {
+            spsa_tune(&base, &SpsaConfig::default(), |p| {
+                (p.prune_margin - 0.3).powi(2) + (p.beam_width as f64) * 0.001
+            })
+        };
+        let (a, ya) = run();
+        let (b, yb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ya.to_bits(), yb.to_bits());
+    }
+
+    #[test]
+    fn fused_structure_hash_collapses_equivalent_configs() {
+        // In a chain with a forced materialization boundary, flipping a
+        // decision the pass ignores must not change the hash, while real
+        // structural changes must.
+        let p = chain_program(6);
+        let space = FusionSpace::new(&p.computation);
+        let a = fused_structure_hash(&p, &space, &space.none());
+        let b = fused_structure_hash(&p, &space, &space.none());
+        assert_eq!(a, b);
+        assert_ne!(a, fused_structure_hash(&p, &space, &space.all()));
+    }
+}

@@ -13,6 +13,7 @@
 //!   their kernels, and resolve them in one predictor call so all chains'
 //!   cache misses share a single packed model forward.
 
+use crate::beam::{beam_search_observed, SearchParams};
 use crate::sa::{simulated_annealing_observed, BatchObjective, SaConfig};
 use rayon::prelude::*;
 use std::fmt;
@@ -21,7 +22,8 @@ use tpu_fusion::{apply_fusion, default_space_and_config, FusionConfig, FusionSpa
 use tpu_hlo::{FusedProgram, Kernel, Program};
 use tpu_learned_cost::{AtomicCache, CostModel, FnCostModel, KernelCache, Predictor};
 use tpu_obs::{Counter, Gauge, Histogram, Registry};
-use tpu_sim::{DeviceError, FaultCounts, TpuDevice};
+use tpu_sim::{DeviceError, FaultCounts, TpuConfig, TpuDevice};
+use tpu_tile::valid_tile_sizes;
 
 /// Where the search starts (§6.3 runs the autotuner "in two modes").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -504,6 +506,132 @@ impl<M: CostModel + ?Sized, C: KernelCache> BatchObjective for ModelObjective<'_
     }
 }
 
+/// The joint fusion+tile model path: each candidate configuration is
+/// scored at its *model-best tiling*. For every fused kernel the objective
+/// scores the untiled kernel plus its top `tile_candidates` VMEM-valid
+/// tile sizes and keeps the per-kernel minimum — all variants of all
+/// configs resolved in **one** predictor call per batch, so the packed
+/// forward covers the whole tile neighbourhood too. Tiled variants carry
+/// distinct canonical hashes, which means the prediction cache (and the
+/// beam's transposition table above it) shares tile scores across
+/// candidates and searches exactly like untiled kernels.
+///
+/// The untiled variant always participates in the minimum, so a config's
+/// joint score is never worse than its fusion-only score under the same
+/// model.
+pub struct TiledModelObjective<'a, M: CostModel + ?Sized, C: KernelCache = AtomicCache> {
+    program: &'a Program,
+    space: &'a FusionSpace,
+    predictor: &'a Predictor<&'a M, C>,
+    tpu: TpuConfig,
+    tile_candidates: usize,
+    obs: ModelObs,
+}
+
+impl<'a, M: CostModel + ?Sized, C: KernelCache> TiledModelObjective<'a, M, C> {
+    pub fn new(
+        program: &'a Program,
+        space: &'a FusionSpace,
+        predictor: &'a Predictor<&'a M, C>,
+        tpu: TpuConfig,
+        tile_candidates: usize,
+    ) -> TiledModelObjective<'a, M, C> {
+        TiledModelObjective {
+            program,
+            space,
+            predictor,
+            tpu,
+            tile_candidates: tile_candidates.max(1),
+            obs: ModelObs::noop(),
+        }
+    }
+
+    /// Record `autotuner.model.*` metrics into `registry`.
+    pub fn observed(mut self, registry: &Registry) -> TiledModelObjective<'a, M, C> {
+        self.obs = ModelObs::new(registry);
+        self
+    }
+
+    /// Tile variants of one kernel: the untiled kernel first, then its
+    /// candidate tilings.
+    fn variants(&self, k: &Kernel) -> Vec<Kernel> {
+        let mut out = vec![k.clone()];
+        for t in valid_tile_sizes(k, &self.tpu, self.tile_candidates) {
+            out.push(k.clone().with_tile(t));
+        }
+        out
+    }
+
+    /// The fused program for `config` with each kernel's model-best tile
+    /// attached (left untiled when the untiled variant wins or the model
+    /// cannot score any variant).
+    pub fn tile_program(&self, config: &FusionConfig) -> FusedProgram {
+        let fused = apply_fusion(self.program, self.space, config);
+        let per_kernel: Vec<Vec<Kernel>> =
+            fused.kernels.iter().map(|k| self.variants(k)).collect();
+        let refs: Vec<&Kernel> = per_kernel.iter().flatten().collect();
+        let (preds, _) = self.predictor.predict_ns_refs(&refs);
+        let mut kernels = Vec::with_capacity(per_kernel.len());
+        let mut at = 0usize;
+        for group in per_kernel {
+            let n = group.len();
+            let mut winner = 0usize;
+            let mut best = f64::INFINITY;
+            for (j, p) in preds[at..at + n].iter().enumerate() {
+                if let Some(ns) = p {
+                    if *ns < best {
+                        best = *ns;
+                        winner = j;
+                    }
+                }
+            }
+            kernels.push(group.into_iter().nth(winner).expect("winner within group"));
+            at += n;
+        }
+        FusedProgram::new(fused.name.clone(), kernels)
+    }
+}
+
+impl<M: CostModel + ?Sized, C: KernelCache> BatchObjective for TiledModelObjective<'_, M, C> {
+    fn evaluate(&mut self, configs: &[FusionConfig]) -> Vec<f64> {
+        let _timer = self.obs.evaluate_ns.start_timer();
+        self.obs.configs.add(configs.len() as u64);
+        let fused: Vec<FusedProgram> = configs
+            .par_iter()
+            .map(|cfg| apply_fusion(self.program, self.space, cfg))
+            .collect();
+        // Flat variant list with per-config, per-kernel spans.
+        let mut variants: Vec<Kernel> = Vec::new();
+        let mut config_spans: Vec<Vec<std::ops::Range<usize>>> = Vec::with_capacity(fused.len());
+        for fp in &fused {
+            let mut spans = Vec::with_capacity(fp.kernels.len());
+            for k in &fp.kernels {
+                let lo = variants.len();
+                variants.extend(self.variants(k));
+                spans.push(lo..variants.len());
+            }
+            config_spans.push(spans);
+        }
+        let refs: Vec<&Kernel> = variants.iter().collect();
+        let (preds, _) = self.predictor.predict_ns_refs(&refs);
+        config_spans
+            .into_iter()
+            .map(|spans| {
+                spans
+                    .into_iter()
+                    .try_fold(0.0, |total, span| {
+                        let best = preds[span]
+                            .iter()
+                            .flatten()
+                            .fold(f64::INFINITY, |m, ns| m.min(*ns));
+                        best.is_finite().then_some(total + best)
+                    })
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect()
+    }
+}
+
 /// The starting configuration for a mode.
 pub fn start_config(
     program: &Program,
@@ -694,22 +822,56 @@ pub fn autotune_with_cost_model_observed<M: CostModel + ?Sized, C: KernelCache>(
     let stats = predictor.stats();
     predictor.record_cache_stats();
 
-    // Phase 2: measure the model's top configs on real hardware through
-    // the same metered path as the hardware-only tuner; best measured
-    // wins. Include the start config as a safety net, mirroring the
-    // autotuner never doing worse than its starting point *when the
-    // hardware confirms it*. A candidate whose measurement exhausts its
-    // retries is skipped (the next-ranked one still gets its chance);
-    // budget exhaustion ends the re-rank.
+    // Phase 2: the shared metered re-rank (identical for SA and beam).
     device.reset_time_used();
     let faults_before = device.fault_counts();
-    let mut candidates: Vec<FusionConfig> =
-        result.top.into_iter().map(|(c, _)| c).collect();
+    let candidates: Vec<FusionConfig> = result.top.into_iter().map(|(c, _)| c).collect();
+    let (chosen, hw_evals, retry_stats) = rerank_on_hardware(
+        program,
+        &space,
+        device,
+        budgets.hardware_ns,
+        registry,
+        candidates,
+        start,
+    );
+    let fused = apply_fusion(program, &space, &chosen);
+    TunedConfig {
+        true_ns: device.true_program_time(&fused),
+        config: chosen,
+        hw_evals,
+        model_evals: stats.model_evals,
+        cache_hits: stats.cache_hits,
+        model_batches: stats.model_batches,
+        retry_stats,
+        faults: fault_delta(faults_before, device.fault_counts()),
+    }
+}
+
+/// Phase 2 of the §6.3 protocol, shared verbatim by the SA and beam
+/// harnesses: measure the model-ranked candidates on hardware through the
+/// single metered [`HardwareObjective::measure`] path — same
+/// [`RetryPolicy`] resolution (default on fault-free devices, resilient
+/// under a fault plan), same one-measurement budget-overshoot bound — with
+/// the start config appended as a safety net. The best measured config
+/// wins; a candidate whose measurement exhausts its retries is skipped
+/// (the next-ranked one still gets its chance); budget exhaustion ends the
+/// re-rank; with nothing measurable the start config is returned.
+///
+/// Returns `(chosen, hw_evals, retry_stats)`.
+pub(crate) fn rerank_on_hardware(
+    program: &Program,
+    space: &FusionSpace,
+    device: &TpuDevice,
+    budget_ns: f64,
+    registry: &Registry,
+    mut candidates: Vec<FusionConfig>,
+    start: FusionConfig,
+) -> (FusionConfig, usize, HwRetryStats) {
     if !candidates.contains(&start) {
         candidates.push(start.clone());
     }
-    let mut hw =
-        HardwareObjective::new(program, &space, device, budgets.hardware_ns).observed(registry);
+    let mut hw = HardwareObjective::new(program, space, device, budget_ns).observed(registry);
     let mut best: Option<(FusionConfig, f64)> = None;
     for cfg in candidates {
         match hw.measure(&cfg) {
@@ -722,16 +884,115 @@ pub fn autotune_with_cost_model_observed<M: CostModel + ?Sized, C: KernelCache>(
             Err(MeasureError::BudgetExhausted) => break,
         }
     }
-    let chosen = best.map(|(c, _)| c).unwrap_or(start);
+    (
+        best.map(|(c, _)| c).unwrap_or(start),
+        hw.hw_evals(),
+        hw.retry_stats(),
+    )
+}
+
+/// Model-guided autotuning with the beam searcher in place of SA:
+/// transposition-table-backed beam search on the cost model for at most
+/// `budgets.model_steps` model evaluations (TT hits are free), then the
+/// top-k model-ranked configs go through the *same* metered hardware
+/// re-rank as [`autotune_with_cost_model`] — [`RetryPolicy`] resolution
+/// and budget-overshoot bounds are shared code, not mirrored logic.
+///
+/// `params` supplies the search hyperparameters (beam width, prune
+/// margin, TT policy, tile candidates, seed); its `max_evals`/`top_k` are
+/// overridden by `budgets.model_steps`/`budgets.top_k` so the two
+/// searchers meter from one source of truth. With
+/// `params.tile_candidates > 0` the eval function scores each config at
+/// its model-best tiling ([`TiledModelObjective`] — the joint fusion+tile
+/// space); otherwise it is the fusion-only [`ModelObjective`].
+///
+/// The tuned config is bit-identical for any `RAYON_NUM_THREADS` and any
+/// cache/TT pre-warmth.
+pub fn autotune_beam_with_cost_model<M: CostModel + ?Sized, C: KernelCache>(
+    program: &Program,
+    device: &TpuDevice,
+    model: &M,
+    cache: &Arc<C>,
+    mode: StartMode,
+    budgets: &Budgets,
+    params: &SearchParams,
+) -> TunedConfig {
+    autotune_beam_with_cost_model_observed(
+        program,
+        device,
+        model,
+        cache,
+        mode,
+        budgets,
+        params,
+        &Registry::noop(),
+    )
+}
+
+/// [`autotune_beam_with_cost_model`] with metrics recorded into
+/// `registry`: the model phase fills `autotuner.beam.*`,
+/// `autotuner.model.*` and the predictor's `core.engine.*` families; the
+/// re-rank fills `autotuner.hw.*`. Instrumentation is read-only.
+#[allow(clippy::too_many_arguments)]
+pub fn autotune_beam_with_cost_model_observed<M: CostModel + ?Sized, C: KernelCache>(
+    program: &Program,
+    device: &TpuDevice,
+    model: &M,
+    cache: &Arc<C>,
+    mode: StartMode,
+    budgets: &Budgets,
+    params: &SearchParams,
+    registry: &Registry,
+) -> TunedConfig {
+    let (space, _) = default_space_and_config(&program.computation);
+    let start = start_config(program, &space, mode, params.seed);
+    let effective = SearchParams {
+        max_evals: budgets.model_steps,
+        top_k: budgets.top_k,
+        ..params.clone()
+    };
+
+    // Phase 1: model-guided beam search on the CPU.
+    let predictor = Predictor::with_cache(model, Arc::clone(cache)).observed(registry);
+    let result = if effective.tile_candidates > 0 {
+        let objective = TiledModelObjective::new(
+            program,
+            &space,
+            &predictor,
+            device.config().clone(),
+            effective.tile_candidates,
+        )
+        .observed(registry);
+        beam_search_observed(program, &space, start.clone(), objective, &effective, registry)
+    } else {
+        let objective = ModelObjective::new(program, &space, &predictor).observed(registry);
+        beam_search_observed(program, &space, start.clone(), objective, &effective, registry)
+    };
+    let stats = predictor.stats();
+    predictor.record_cache_stats();
+
+    // Phase 2: the shared metered re-rank (identical for SA and beam).
+    device.reset_time_used();
+    let faults_before = device.fault_counts();
+    let candidates: Vec<FusionConfig> = result.top.into_iter().map(|(c, _)| c).collect();
+    let (chosen, hw_evals, retry_stats) = rerank_on_hardware(
+        program,
+        &space,
+        device,
+        budgets.hardware_ns,
+        registry,
+        candidates,
+        start,
+    );
     let fused = apply_fusion(program, &space, &chosen);
     TunedConfig {
         true_ns: device.true_program_time(&fused),
         config: chosen,
-        hw_evals: hw.hw_evals(),
+        hw_evals,
         model_evals: stats.model_evals,
         cache_hits: stats.cache_hits,
         model_batches: stats.model_batches,
-        retry_stats: hw.retry_stats(),
+        retry_stats,
         faults: fault_delta(faults_before, device.fault_counts()),
     }
 }
@@ -1026,6 +1287,184 @@ mod tests {
         assert_eq!(hw.measure(&start), Err(MeasureError::BudgetExhausted));
         assert_eq!(hw.hw_evals(), 0);
         assert_eq!(device.device_time_used(), 0.0);
+    }
+
+    #[test]
+    fn sa_and_beam_share_one_metered_rerank_path() {
+        // Satellite pin: the two searchers must route phase 2 through one
+        // metered path. With a zero model budget both produce the same
+        // candidate list (the start config alone), so on fresh same-seed
+        // devices the hardware accounting — measurements, retry stats,
+        // fault counts, overshoot — must be bit-identical between the SA
+        // and beam entries, fault-free and under chaos alike (the chaos
+        // case also pins that both resolve the resilient RetryPolicy).
+        let p = program();
+        let cfg = TpuConfig::default();
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        let budgets = Budgets {
+            model_steps: 0,
+            ..quick_budgets()
+        };
+        for fault_seed in [None, Some(11u64)] {
+            let mk_device = || match fault_seed {
+                Some(s) => TpuDevice::new(5).with_faults(tpu_sim::FaultPlan::chaos(s)),
+                None => TpuDevice::new(5),
+            };
+            let device = mk_device();
+            let sa = autotune_with_cost_model(
+                &p,
+                &device,
+                &model,
+                &Arc::new(PredictionCache::new()),
+                StartMode::Default,
+                &budgets,
+                0,
+            );
+            let device = mk_device();
+            let beam = autotune_beam_with_cost_model(
+                &p,
+                &device,
+                &model,
+                &Arc::new(PredictionCache::new()),
+                StartMode::Default,
+                &budgets,
+                &crate::beam::SearchParams {
+                    seed: 0,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(sa.config, beam.config, "fault_seed={fault_seed:?}");
+            assert_eq!(sa.true_ns.to_bits(), beam.true_ns.to_bits());
+            assert_eq!(sa.hw_evals, beam.hw_evals);
+            assert_eq!(sa.retry_stats, beam.retry_stats, "fault_seed={fault_seed:?}");
+            assert_eq!(sa.faults, beam.faults, "fault_seed={fault_seed:?}");
+        }
+    }
+
+    #[test]
+    fn shared_rerank_overshoot_is_bounded_by_one_measurement() {
+        // The overshoot bound the SA harness pinned now lives in the
+        // shared path, so it holds for any searcher feeding it.
+        let p = program();
+        let device = TpuDevice::new(21);
+        let (space, _) = default_space_and_config(&p.computation);
+        let start = start_config(&p, &space, StartMode::Default, 0);
+        let budget = 10e9;
+        let candidates = vec![start.clone(); 64]; // plenty to exhaust the budget
+        let (_, hw_evals, stats) = rerank_on_hardware(
+            &p,
+            &space,
+            &device,
+            budget,
+            &Registry::noop(),
+            candidates,
+            start.clone(),
+        );
+        assert!(hw_evals > 0);
+        let fused = apply_fusion(&p, &space, &start);
+        let exec_bound = device.true_program_time(&fused) * 1.0401;
+        assert!(
+            stats.budget_overshoot_ns <= exec_bound,
+            "overshoot {} ns exceeds one execution ({exec_bound} ns)",
+            stats.budget_overshoot_ns
+        );
+        assert!(device.device_time_used() - budget <= exec_bound);
+    }
+
+    #[test]
+    fn beam_guided_tuning_from_default_does_not_regress() {
+        let p = program();
+        let cfg = TpuConfig::default();
+        let device = TpuDevice::new(9);
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        let tuned = autotune_beam_with_cost_model(
+            &p,
+            &device,
+            &model,
+            &Arc::new(PredictionCache::new()),
+            StartMode::Default,
+            &quick_budgets(),
+            &crate::beam::SearchParams {
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        assert!(tuned.model_evals > 0, "beam must evaluate the model");
+        let s = speedup_over_default(&p, &device, &tuned);
+        assert!(s >= 0.99, "speedup={s}");
+    }
+
+    #[test]
+    fn tiled_objective_is_never_worse_and_is_argmin_consistent() {
+        // The untiled variant always participates in the per-kernel min,
+        // so the joint fusion+tile score can only improve on the
+        // fusion-only score; and the score must equal the oracle cost of
+        // the materialized tile_program.
+        let mut b = GraphBuilder::new("main");
+        let x = b.parameter("x", Shape::matrix(1024, 512), DType::F32);
+        let w = b.parameter("w", Shape::matrix(512, 1024), DType::F32);
+        let d = b.dot(x, w);
+        let r = b.relu(d);
+        let t = b.tanh(r);
+        let p = Program::new("mm", b.finish(t));
+        let cfg = TpuConfig::default();
+        let sim_cfg = cfg.clone();
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &sim_cfg))
+        });
+        let (space, default_cfg) = default_space_and_config(&p.computation);
+        let cache = Arc::new(PredictionCache::new());
+        let predictor = Predictor::with_cache(&model, Arc::clone(&cache));
+        let mut plain = ModelObjective::new(&p, &space, &predictor);
+        let mut tiled = TiledModelObjective::new(&p, &space, &predictor, cfg.clone(), 4);
+        for candidate in [space.none(), space.all(), default_cfg] {
+            let batch = [candidate.clone()];
+            let plain_cost = plain.evaluate(&batch)[0];
+            let tiled_cost = tiled.evaluate(&batch)[0];
+            assert!(
+                tiled_cost <= plain_cost,
+                "joint score {tiled_cost} worse than fusion-only {plain_cost}"
+            );
+            let materialized = tiled.tile_program(&candidate);
+            let oracle_sum: f64 = materialized
+                .kernels
+                .iter()
+                .map(|k| tpu_sim::kernel_time_ns(k, &cfg))
+                .sum();
+            assert!(
+                (oracle_sum - tiled_cost).abs() <= tiled_cost * 1e-12,
+                "materialized program cost {oracle_sum} != joint score {tiled_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn spsa_meta_loop_is_deterministic_and_in_bounds() {
+        let p = program();
+        let device = TpuDevice::new(3);
+        let cfg = TpuConfig::default();
+        let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+            Some(tpu_sim::kernel_time_ns(k, &cfg))
+        });
+        let base = crate::beam::SearchParams {
+            max_evals: 120,
+            ..Default::default()
+        };
+        let spsa = crate::beam::SpsaConfig {
+            iters: 2,
+            ..Default::default()
+        };
+        let (params_a, y_a) = crate::beam::tune_search_params(&p, &device, &model, &base, &spsa);
+        let (params_b, y_b) = crate::beam::tune_search_params(&p, &device, &model, &base, &spsa);
+        assert_eq!(params_a, params_b);
+        assert_eq!(y_a.to_bits(), y_b.to_bits());
+        assert!(y_a.is_finite() && y_a > 0.0);
+        assert!((0.0..=1.0).contains(&params_a.prune_margin));
+        assert!((1..=16).contains(&params_a.beam_width));
     }
 
     #[test]

@@ -46,16 +46,22 @@
 //! ```
 
 mod baselines;
+mod beam;
 mod harness;
 mod random_search;
 mod sa;
 
 pub use harness::{
+    autotune_beam_with_cost_model, autotune_beam_with_cost_model_observed,
     autotune_hardware_only, autotune_hardware_only_observed, autotune_with_cost_model,
     autotune_with_cost_model_observed, autotune_with_model, speedup_over_default, start_config,
     Budgets, HardwareObjective, HwRetryStats, MeasureError, ModelObjective, RetryPolicy,
-    StartMode, TunedConfig,
+    StartMode, TiledModelObjective, TunedConfig,
 };
 pub use baselines::{hill_climb, random_search, SearchResult};
+pub use beam::{
+    beam_search, beam_search_observed, beam_search_with_tt, fused_structure_hash, margin_cut,
+    reduce_layer, spsa_tune, tune_search_params, BeamResult, BeamStats, SearchParams, SpsaConfig,
+};
 pub use random_search::random_configs;
 pub use sa::{simulated_annealing, simulated_annealing_observed, BatchObjective, SaConfig, SaResult};

@@ -148,7 +148,8 @@ fn chain_seed(seed: u64, chain: usize) -> u64 {
     seed ^ (chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-fn push_top(cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfig, f64)>) {
+/// Maintain a sorted, distinct top-k pool (shared with the beam search).
+pub(crate) fn push_top(cfg_: &FusionConfig, cost: f64, k: usize, top: &mut Vec<(FusionConfig, f64)>) {
     if !cost.is_finite() {
         return;
     }

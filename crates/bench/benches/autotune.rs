@@ -1,9 +1,11 @@
 //! Benchmark: candidate throughput of the model-guided autotuner — the
-//! batch-first serving path under its real workload.
+//! batch-first serving path under its real workload — plus a beam-vs-SA
+//! head-to-head at equal model-eval budget.
 //!
-//! Two headline comparisons, written to `BENCH_autotune.json` at the repo
-//! root (skipped under `BENCH_SMOKE=1`, which also shrinks the work so CI
-//! can smoke-test the bench in seconds):
+//! Three headline comparisons, merged into `BENCH_autotune.json` at the
+//! repo root (each bench owns its key; other keys are preserved; skipped
+//! under `BENCH_SMOKE=1`, which also shrinks the work so CI can
+//! smoke-test the bench in seconds):
 //!
 //! 1. single- vs multi-chain annealing at the same step budget: with C
 //!    chains every temperature step scores C candidates through one
@@ -13,18 +15,31 @@
 //! 2. cached vs uncached serving at equal chains: SA neighbourhoods reuse
 //!    most kernels between configs, so the prediction cache removes almost
 //!    all forwards. Identical search outcome, asserted.
+//! 3. beam vs SA on the Table-2 test programs (`"beam"` key): both
+//!    searchers get the same oracle objective and the same model-eval
+//!    budget; the scoreboard is the true device time of each searcher's
+//!    best config. The transposition table shows up as `tt_hits` — evals
+//!    the beam gets for free because structurally-identical subproblems
+//!    share predictions.
 //!
 //! ```text
 //! cargo bench -p tpu-bench --bench autotune
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Value;
 use std::sync::Arc;
 use std::time::Instant;
-use tpu_autotuner::{simulated_annealing, ModelObjective, SaConfig, SaResult};
-use tpu_fusion::default_space_and_config;
+use tpu_autotuner::{
+    beam_search, simulated_annealing, ModelObjective, SaConfig, SaResult, SearchParams,
+};
+use tpu_dataset::{Corpus, CorpusScale, FUSION_NODE_LIMIT, RANDOM_TEST_PROGRAMS};
+use tpu_fusion::{apply_fusion, default_space_and_config};
 use tpu_hlo::{DType, GraphBuilder, Program, Shape};
-use tpu_learned_cost::{AtomicCache, GnnConfig, GnnModel, PredictStats, Predictor};
+use tpu_learned_cost::{
+    AtomicCache, FnCostModel, GnnConfig, GnnModel, PredictStats, Predictor,
+};
+use tpu_sim::{kernel_time_ns, TpuConfig, TpuDevice};
 
 fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
@@ -83,6 +98,96 @@ fn anneal(
     }
 }
 
+/// One beam-vs-SA round on `program`: same oracle objective, same
+/// model-eval budget, scored by true device time of each best config.
+struct Duel {
+    name: String,
+    decisions: usize,
+    default_ns: f64,
+    sa_ns: f64,
+    beam_ns: f64,
+    sa_evals: usize,
+    beam_evals: usize,
+    beam_tt_hits: u64,
+    sa_secs: f64,
+    beam_secs: f64,
+}
+
+fn duel(program: &Program, device: &TpuDevice, budget: usize, seed: u64) -> Option<Duel> {
+    let (space, start) = default_space_and_config(&program.computation);
+    if space.num_edges() == 0 {
+        return None;
+    }
+    let cfg = TpuConfig::default();
+    let model = FnCostModel::new("oracle", move |k: &tpu_hlo::Kernel| {
+        Some(kernel_time_ns(k, &cfg))
+    });
+
+    let sa_pred = Predictor::with_cache(&model, Arc::new(AtomicCache::serving_default()));
+    let t0 = Instant::now();
+    let sa = simulated_annealing(
+        &space,
+        start.clone(),
+        ModelObjective::new(program, &space, &sa_pred),
+        &SaConfig {
+            steps: budget,
+            seed,
+            ..Default::default()
+        },
+    );
+    let sa_secs = t0.elapsed().as_secs_f64();
+
+    let beam_pred = Predictor::with_cache(&model, Arc::new(AtomicCache::serving_default()));
+    let t0 = Instant::now();
+    let beam = beam_search(
+        program,
+        &space,
+        start.clone(),
+        ModelObjective::new(program, &space, &beam_pred),
+        &SearchParams {
+            max_evals: budget,
+            seed,
+            ..Default::default()
+        },
+    );
+    let beam_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        beam.evals <= budget,
+        "beam overspent the model-eval budget: {} > {budget}",
+        beam.evals
+    );
+
+    let true_ns = |c| device.true_program_time(&apply_fusion(program, &space, c));
+    Some(Duel {
+        name: program.name.clone(),
+        decisions: space.num_edges(),
+        default_ns: true_ns(&start),
+        sa_ns: true_ns(&sa.best_config),
+        beam_ns: true_ns(&beam.best_config),
+        sa_evals: sa.evals,
+        beam_evals: beam.evals,
+        beam_tt_hits: beam.stats.tt_hits,
+        sa_secs,
+        beam_secs,
+    })
+}
+
+/// The Table-2 random-split test programs that fit the fusion node limit
+/// (the paper's §6.3 search targets); the synthetic bench program under
+/// smoke so CI stays fast.
+fn duel_programs() -> Vec<Program> {
+    if smoke() {
+        return vec![tunable_program()];
+    }
+    let corpus = Corpus::build(CorpusScale::Full);
+    RANDOM_TEST_PROGRAMS
+        .iter()
+        .filter_map(|name| corpus.index_of(name))
+        .map(|i| corpus.entries[i].program.clone())
+        .filter(|p| p.num_nodes() <= FUSION_NODE_LIMIT)
+        .collect()
+}
+
 fn bench_autotune(_c: &mut Criterion) {
     let program = tunable_program();
     let gnn = GnnModel::new(GnnConfig::default());
@@ -132,27 +237,156 @@ fn bench_autotune(_c: &mut Criterion) {
         uncached.secs / multi.secs
     );
 
-    if !smoke() {
-        let json = format!(
-            "{{\n  \"autotune\": {{\n    \"steps\": {steps},\n    \"rayon_num_threads\": {threads},\n    \
-             \"single_chain\": {{\n      \"configs_per_sec\": {single_cps:.2},\n      \
-             \"model_evals\": {},\n      \"model_batches\": {},\n      \"hit_rate\": {:.4}\n    }},\n    \
-             \"multi_chain\": {{\n      \"chains\": {chains},\n      \
-             \"configs_per_sec\": {multi_cps:.2},\n      \"model_evals\": {},\n      \
-             \"model_batches\": {},\n      \"hit_rate\": {:.4}\n    }},\n    \
-             \"chain_speedup\": {:.3},\n    \"cached_vs_uncached_speedup\": {:.3}\n  }}\n}}\n",
-            single.stats.model_evals,
-            single.stats.model_batches,
-            single.stats.hit_rate(),
-            multi.stats.model_evals,
-            multi.stats.model_batches,
-            multi.stats.hit_rate(),
-            multi_cps / single_cps,
-            uncached.secs / multi.secs
+    // Beam vs SA head-to-head at equal model-eval budget.
+    let device = TpuDevice::new(42);
+    let duel_budget = if smoke() { 120 } else { steps };
+    let duels: Vec<Duel> = duel_programs()
+        .iter()
+        .filter_map(|p| duel(p, &device, duel_budget, 0))
+        .collect();
+    assert!(!duels.is_empty(), "no duel programs under the node limit");
+    let mut log_ratio_sum = 0.0;
+    for d in &duels {
+        let ratio = d.sa_ns / d.beam_ns;
+        log_ratio_sum += ratio.ln();
+        println!(
+            "beam vs sa `{}` ({} decisions, budget {duel_budget}): \
+             sa {:.0} ns ({} evals, {:.2} s), beam {:.0} ns ({} evals + {} TT hits, {:.2} s) \
+             — sa/beam {:.3}x (default {:.0} ns)",
+            d.name,
+            d.decisions,
+            d.sa_ns,
+            d.sa_evals,
+            d.sa_secs,
+            d.beam_ns,
+            d.beam_evals,
+            d.beam_tt_hits,
+            d.beam_secs,
+            ratio,
+            d.default_ns,
         );
+    }
+    let geomean = (log_ratio_sum / duels.len() as f64).exp();
+    println!(
+        "beam vs sa over {} programs: geomean sa/beam {geomean:.3}x \
+         (>= 1 means beam matches or beats SA at equal budget)",
+        duels.len()
+    );
+
+    if !smoke() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_autotune.json");
+        // Merge this bench's keys into the existing report instead of
+        // clobbering keys other tools own.
+        let mut root = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::parse_value_str(&s).ok())
+            .unwrap_or(Value::Object(Vec::new()));
+        let chain_entry = |r: &Run, cps: f64| {
+            obj(vec![
+                ("configs_per_sec", round1(cps)),
+                ("model_evals", Value::Int(r.stats.model_evals as i64)),
+                ("model_batches", Value::Int(r.stats.model_batches as i64)),
+                ("hit_rate", round3(r.stats.hit_rate())),
+            ])
+        };
+        let autotune = obj(vec![
+            ("steps", Value::Int(steps as i64)),
+            ("rayon_num_threads", Value::Int(threads as i64)),
+            ("single_chain", chain_entry(&single, single_cps)),
+            (
+                "multi_chain",
+                match chain_entry(&multi, multi_cps) {
+                    Value::Object(mut fields) => {
+                        fields.insert(0, ("chains".to_string(), Value::Int(chains as i64)));
+                        Value::Object(fields)
+                    }
+                    other => other,
+                },
+            ),
+            ("chain_speedup", round3(multi_cps / single_cps)),
+            ("cached_vs_uncached_speedup", round3(uncached.secs / multi.secs)),
+        ]);
+        let programs = Value::Object(
+            duels
+                .iter()
+                .map(|d| {
+                    (
+                        d.name.clone(),
+                        obj(vec![
+                            ("decisions", Value::Int(d.decisions as i64)),
+                            ("default_ns", round1(d.default_ns)),
+                            ("sa_ns", round1(d.sa_ns)),
+                            ("beam_ns", round1(d.beam_ns)),
+                            ("sa_over_beam", round3(d.sa_ns / d.beam_ns)),
+                            ("sa_evals", Value::Int(d.sa_evals as i64)),
+                            ("beam_evals", Value::Int(d.beam_evals as i64)),
+                            ("beam_tt_hits", Value::Int(d.beam_tt_hits as i64)),
+                            ("sa_secs", round3(d.sa_secs)),
+                            ("beam_secs", round3(d.beam_secs)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let beam = obj(vec![
+            ("budget_evals", Value::Int(duel_budget as i64)),
+            ("programs", programs),
+            ("geomean_sa_over_beam", round3(geomean)),
+        ]);
+        if let Value::Object(fields) = &mut root {
+            for (key, value) in [("autotune", autotune), ("beam", beam)] {
+                match fields.iter_mut().find(|(k, _)| k == key) {
+                    Some(slot) => slot.1 = value,
+                    None => fields.push((key.to_string(), value)),
+                }
+            }
+        }
+        let mut json = String::new();
+        write_pretty(&root, &mut json, 0);
+        json.push('\n');
         std::fs::write(path, json).expect("write BENCH_autotune.json");
         println!("wrote {path}");
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn round1(v: f64) -> Value {
+    Value::Float((v * 10.0).round() / 10.0)
+}
+
+fn round3(v: f64) -> Value {
+    Value::Float((v * 1000.0).round() / 1000.0)
+}
+
+/// Two-space-indented JSON, matching the layout the other benches write.
+fn write_pretty(v: &Value, out: &mut String, depth: usize) {
+    let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+    match v {
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                pad(out, depth + 1);
+                out.push_str(&format!("{:?}: ", k));
+                write_pretty(val, out, depth + 1);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            pad(out, depth);
+            out.push('}');
+        }
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, val) in items.iter().enumerate() {
+                pad(out, depth + 1);
+                write_pretty(val, out, depth + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            pad(out, depth);
+            out.push(']');
+        }
+        other => out.push_str(&serde_json::value_to_string(other)),
     }
 }
 

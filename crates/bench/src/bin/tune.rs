@@ -8,21 +8,27 @@
 //!
 //! ```text
 //! cargo run -p tpu-bench --release --bin tune [-- --quick] \
-//!     [--faults <seed>] [--checkpoint <path>] [--report <path>]
+//!     [--search sa|beam] [--faults <seed>] [--checkpoint <path>] \
+//!     [--report <path>]
 //! ```
 //!
-//! `--faults <seed>` runs the autotuning demo on a device carrying
-//! `FaultPlan::chaos(seed)`, exercising the retrying measurement harness;
-//! `--checkpoint <path>` checkpoints every model's training to
-//! `<stem>.<tag>.json` files next to `path` and resumes them on rerun
-//! (bit-identical to an uninterrupted run).
+//! `--search beam` drives the demo with the transposition-table-backed
+//! beam search instead of SA (same model-eval budget, same metered
+//! hardware re-rank); `--faults <seed>` runs the autotuning demo on a
+//! device carrying `FaultPlan::chaos(seed)`, exercising the retrying
+//! measurement harness; `--checkpoint <path>` checkpoints every model's
+//! training to `<stem>.<tag>.json` files next to `path` and resumes them
+//! on rerun (bit-identical to an uninterrupted run).
 
 use std::sync::Arc;
-use tpu_autotuner::{autotune_with_cost_model_observed, speedup_over_default, Budgets, StartMode};
+use tpu_autotuner::{
+    autotune_beam_with_cost_model_observed, autotune_with_cost_model_observed,
+    speedup_over_default, Budgets, SearchParams, StartMode,
+};
 use tpu_bench::{
     checkpoint_path_from_args, checkpoint_variant_path, corpus, fault_seed_from_args,
     fusion_train_val, predict_ns_prepared, print_table, registry_for_report,
-    report_path_from_args, train_checkpointed, write_report, Scale,
+    report_path_from_args, search_from_args, train_checkpointed, write_report, Scale, SearchAlgo,
 };
 use tpu_dataset::build_fusion_dataset;
 use tpu_learned_cost::metrics::{kendall_tau, mape, median};
@@ -86,8 +92,9 @@ fn main() {
     let report_path = report_path_from_args();
     let fault_seed = fault_seed_from_args();
     let checkpoint_stem = checkpoint_path_from_args();
+    let search = search_from_args();
     let registry = registry_for_report(&report_path);
-    println!("Fusion-task hyperparameter sweep (scale: {scale:?})");
+    println!("Fusion-task hyperparameter sweep (scale: {scale:?}, search: {search:?})");
     if let Some(seed) = fault_seed {
         println!("fault injection: FaultPlan::chaos({seed}) on the autotuning device");
     }
@@ -268,16 +275,31 @@ fn main() {
         None => TpuDevice::new(42),
     }
     .observed(&registry);
-    let tuned = autotune_with_cost_model_observed(
-        target,
-        &device,
-        &gnn,
-        &cache,
-        StartMode::Default,
-        &budgets,
-        0,
-        &registry,
-    );
+    let tuned = match search {
+        SearchAlgo::Sa => autotune_with_cost_model_observed(
+            target,
+            &device,
+            &gnn,
+            &cache,
+            StartMode::Default,
+            &budgets,
+            0,
+            &registry,
+        ),
+        SearchAlgo::Beam => autotune_beam_with_cost_model_observed(
+            target,
+            &device,
+            &gnn,
+            &cache,
+            StartMode::Default,
+            &budgets,
+            &SearchParams {
+                seed: 0,
+                ..Default::default()
+            },
+            &registry,
+        ),
+    };
     println!(
         "tuned: speedup {:.3}x over default | {} hw evals | {} fresh model evals in {} packed forwards | {} cache hits",
         speedup_over_default(target, &device, &tuned),
@@ -301,6 +323,7 @@ fn main() {
             .with_context("scale", format!("{scale:?}"))
             .with_context("target_program", &target.name)
             .with_context("model_steps", budgets.model_steps)
+            .with_context("search", format!("{search:?}"))
             .with_context("core.engine.backend", tpu_learned_cost::CostModel::name(&gnn));
         if let Some(seed) = fault_seed {
             report = report.with_context("fault_seed", seed);

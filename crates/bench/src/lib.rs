@@ -198,6 +198,39 @@ pub fn fault_seed_from_args() -> Option<u64> {
     None
 }
 
+/// Which model-guided searcher drives the autotuning demo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchAlgo {
+    /// Multi-chain simulated annealing (the historical default).
+    Sa,
+    /// Transposition-table-backed beam search.
+    Beam,
+}
+
+/// Searcher following a `--search sa|beam` flag in the process args
+/// (default: SA). An unknown searcher name is a usage error and exits the
+/// process.
+pub fn search_from_args() -> SearchAlgo {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--search" {
+            let Some(v) = args.next() else {
+                eprintln!("--search requires a value (sa|beam)");
+                std::process::exit(2);
+            };
+            return match v.as_str() {
+                "sa" => SearchAlgo::Sa,
+                "beam" => SearchAlgo::Beam,
+                other => {
+                    eprintln!("--search must be `sa` or `beam`, got `{other}`");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    SearchAlgo::Sa
+}
+
 /// Path following a `--checkpoint <path>` flag in the process args, if
 /// any.
 ///
