@@ -4,10 +4,11 @@
 //! working set, so the measured path is admission control → channel →
 //! worker batch → cache probe — the serving overhead the daemon adds on
 //! top of the predictor. Reports p50/p99 per-request latency and total
-//! throughput per client count, plus an atomic-vs-mutex cache backend
-//! comparison on the multi-client load (ROADMAP item 2's claim: the
-//! lock-free cache serves concurrent clients at least as fast as the
-//! sharded-mutex one).
+//! throughput per client count — including a degraded-mode row with the
+//! circuit breaker pinned open (the outage throughput floor) — plus an
+//! atomic-vs-mutex cache backend comparison on the multi-client load
+//! (ROADMAP item 2's claim: the lock-free cache serves concurrent
+//! clients at least as fast as the sharded-mutex one).
 //!
 //! Writes `BENCH_serve.json` at the repo root. Under `BENCH_SMOKE=1` the
 //! load shrinks so CI can run it in seconds — and still writes the file,
@@ -22,7 +23,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tpu_infer::{freeze_gnn, FrozenModel};
 use tpu_learned_cost::{
-    AtomicCache, CostModel, GnnConfig, GnnModel, KernelCache, PredictionCache, SimOracle,
+    AtomicCache, BreakerConfig, CircuitBreaker, CostModel, FallbackChain, FnCostModel, GnnConfig,
+    GnnModel, KernelCache, PredictionCache, SimOracle,
 };
 use tpu_obs::Registry;
 use tpu_serve::{demo_kernels, percentile, ServeConfig, ServeEngine};
@@ -144,6 +146,25 @@ fn bench_serve(_c: &mut Criterion) {
             Box::new(|| Box::new(SimOracle::new(TpuConfig::default()))),
         ),
         ("frozen-gnn", Box::new(move || Box::new(frozen.clone()))),
+        // Degraded mode: the primary is down and the breaker is pinned
+        // open (never probing), so every request rides the fallback-only
+        // route — the throughput floor the daemon guarantees during an
+        // outage.
+        (
+            "degraded-breaker-open",
+            Box::new(|| {
+                let primary = FnCostModel::new("down", |_: &tpu_hlo::Kernel| None);
+                let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+                    trip_after: 1,
+                    cooldown: u64::MAX,
+                }));
+                breaker.force_trip();
+                Box::new(
+                    FallbackChain::new(primary, SimOracle::new(TpuConfig::default()))
+                        .with_breaker(breaker),
+                )
+            }),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -62,8 +62,8 @@ pub use bundle::{load_gnn, load_lstm, save_gnn, save_lstm, BundleError};
 pub use checkpoint::{CheckpointError, TrainCheckpoint, SCHEMA as CHECKPOINT_SCHEMA};
 pub use cost_model::{CostModel, FnCostModel, SimOracle};
 pub use engine::{
-    forward_log_ns, forward_log_ns_chunked, CacheStats, FallbackChain, KernelCache, PredictStats,
-    PredictionCache, Predictor,
+    forward_log_ns, forward_log_ns_chunked, BatchRoute, BreakerConfig, BreakerState, CacheStats,
+    CircuitBreaker, FallbackChain, KernelCache, PredictStats, PredictionCache, Predictor,
 };
 pub use lstm_model::{LstmConfig, LstmModel};
 pub use model::{GnnArch, GnnConfig, GnnModel, PoolCombo, Reduction, LOG_NS_OFFSET};

@@ -383,7 +383,11 @@ impl DatasetReader {
                     meta.offset, expected_offset
                 )));
             }
-            expected_offset += meta.payload_len(feature_dim);
+            expected_offset = expected_offset
+                .checked_add(meta.payload_len(feature_dim))
+                .ok_or_else(|| {
+                    StreamError::Corrupt(format!("record {i} payload length overflows the file"))
+                })?;
             metas.push(meta);
         }
         if expected_offset != index_pos {

@@ -135,6 +135,12 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
+    /// Bytes left unread. Lets loaders bound a count field against what
+    /// the blob can possibly back *before* reserving memory for it.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     pub(crate) fn u32(&mut self) -> Result<u32, FrozenError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))

@@ -318,6 +318,18 @@ impl FrozenGnn {
         let embed_dim = r.dim("opcode_embed_dim")?;
         let hidden = r.dim("hidden")?;
         let n_hops = r.dim("hops")?;
+        // Every hop costs at least one activation scale (4 B) plus five
+        // tensor records of a 16 B header each. A hop count the blob's
+        // remaining bytes cannot possibly back is corrupt, and must be
+        // rejected *before* the count sizes any allocation — `dim`'s
+        // 2^24 ceiling alone still lets a 100-byte blob demand
+        // gigabytes of `Hop` capacity.
+        if n_hops.saturating_mul(84) > r.remaining() {
+            return Err(FrozenError::Corrupt(format!(
+                "hop count {n_hops} exceeds what {} remaining bytes can hold",
+                r.remaining()
+            )));
+        }
         let reduction = reduction_from(r.u32()?)?;
         let mask = r.u32()?;
         if mask == 0 || mask > 0b111 {

@@ -245,8 +245,13 @@ mod tests {
         let bytes = frozen_gnn().to_bytes();
         for cut in [0, 4, 12, 40, bytes.len() / 2, bytes.len() - 1] {
             let err = FrozenModel::from_bytes(&bytes[..cut]).unwrap_err();
+            // Corrupt is legal too: a cut right after the hop-count
+            // field leaves a count the remaining bytes cannot back.
             assert!(
-                matches!(err, FrozenError::Truncated { .. } | FrozenError::BadMagic),
+                matches!(
+                    err,
+                    FrozenError::Truncated { .. } | FrozenError::BadMagic | FrozenError::Corrupt(_)
+                ),
                 "cut {cut}: {err}"
             );
         }

@@ -31,39 +31,131 @@ use tpu_sim::{FaultPlan, TpuConfig, TpuDevice};
 mod engine;
 pub mod protocol;
 
-pub use engine::{ServeConfig, ServeEngine, ServeError, ServeStats};
+pub use engine::{
+    MonotonicClock, Prediction, ReloadError, ReloadPolicy, ServeClock, ServeConfig, ServeEngine,
+    ServeError, ServeOptions, ServeStats, TickClock,
+};
 pub use protocol::{parse_request, KernelSpec, Request, WireError};
+
+/// One line read from a client, bounded by [`protocol::MAX_LINE_BYTES`].
+enum ClientLine {
+    /// A complete line within the cap (without the newline).
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained, not buffered.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+    /// The stream ended.
+    Eof,
+}
+
+/// Read one newline-terminated line without ever buffering more than
+/// `max` bytes: once a line overflows, the rest of it is consumed and
+/// discarded chunk-by-chunk so an adversarial client cannot make the
+/// daemon allocate in proportion to what it sends.
+fn read_client_line<R: BufRead>(input: &mut R, max: usize) -> io::Result<ClientLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts.
+            if buf.is_empty() && !overflow {
+                return Ok(ClientLine::Eof);
+            }
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                input.consume(pos + 1);
+                break;
+            }
+            None => {
+                if !overflow {
+                    buf.extend_from_slice(chunk);
+                }
+                let n = chunk.len();
+                input.consume(n);
+                if buf.len() > max {
+                    overflow = true;
+                    buf = Vec::new();
+                }
+            }
+        }
+    }
+    if overflow || buf.len() > max {
+        return Ok(ClientLine::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(ClientLine::Line(s)),
+        Err(_) => Ok(ClientLine::BadUtf8),
+    }
+}
 
 /// Serve one NDJSON stream serially: read a line, answer it, repeat.
 ///
 /// Returns `Ok(true)` if the stream asked for shutdown, `Ok(false)` if it
-/// simply ended. Blank lines are skipped. This frontend is what stdin
-/// mode uses; because it is serial, a given request stream produces a
-/// byte-identical response stream run-to-run (the chaos-replay test pins
-/// this).
+/// simply ended. Blank lines are skipped; oversized or non-UTF-8 lines
+/// get a `bad_request` error without unbounded buffering. This frontend
+/// is what stdin mode uses; because it is serial, a given request stream
+/// produces a byte-identical response stream run-to-run (the chaos-replay
+/// and resilience tests pin this).
 pub fn serve_ndjson<R: BufRead, W: Write>(
     serve: &ServeEngine,
-    input: R,
+    mut input: R,
     mut output: W,
 ) -> io::Result<bool> {
-    for line in input.lines() {
-        let line = line?;
+    loop {
+        let line = match read_client_line(&mut input, protocol::MAX_LINE_BYTES)? {
+            ClientLine::Eof => return Ok(false),
+            ClientLine::TooLong => {
+                let reply = protocol::error_reply(
+                    None,
+                    "bad_request",
+                    &format!("request line exceeds {} bytes", protocol::MAX_LINE_BYTES),
+                );
+                output.write_all(reply.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                continue;
+            }
+            ClientLine::BadUtf8 => {
+                let reply =
+                    protocol::error_reply(None, "bad_request", "request line is not valid UTF-8");
+                output.write_all(reply.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                continue;
+            }
+            ClientLine::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let mut stop = false;
         let reply = match parse_request(&line) {
-            Ok(Request::Predict { id, spec }) => match spec.to_kernel() {
-                Ok(kernel) => match serve.submit(kernel) {
-                    Ok(ns) => protocol::predict_reply(id, ns),
+            Ok(Request::Predict {
+                id,
+                spec,
+                deadline_ms,
+            }) => match spec.to_kernel() {
+                Ok(kernel) => match serve.submit_with_deadline(kernel, deadline_ms) {
+                    Ok(p) => protocol::predict_reply(id, p.ns, p.degraded),
                     Err(e) => protocol::error_reply(Some(id), e.code(), e.message()),
                 },
                 Err(msg) => protocol::error_reply(Some(id), "hlo", &msg),
             },
             Ok(Request::Stats { id }) => {
-                protocol::stats_reply(id, &serve.stats(), serve.backend())
+                protocol::stats_reply(id, &serve.stats(), &serve.backend())
             }
             Ok(Request::Ping { id }) => protocol::ping_reply(id),
+            Ok(Request::Reload { id, path }) => match serve.reload_from_path(&path) {
+                Ok(epoch) => protocol::reload_reply(id, epoch),
+                Err(e) => protocol::reload_rejected_reply(id, e.reason(), &e.message()),
+            },
             Ok(Request::Shutdown { id }) => {
                 stop = true;
                 protocol::shutdown_reply(id)
@@ -77,7 +169,6 @@ pub fn serve_ndjson<R: BufRead, W: Write>(
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
 /// Serve TCP clients until one of them sends `shutdown`.
@@ -214,6 +305,14 @@ pub fn demo_kernels(n: usize) -> Vec<Kernel> {
             kernel
         })
         .collect()
+}
+
+/// The fixed probe-kernel panel for reload admission checks: a
+/// deterministic slice of the demo family, shared by the daemon, the
+/// resilience tests, and CI so every reload is judged on the same
+/// kernels.
+pub fn probe_panel() -> Vec<Kernel> {
+    demo_kernels(16)
 }
 
 /// Percentile (0–100) of an unsorted sample by nearest-rank on a sorted

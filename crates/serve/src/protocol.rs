@@ -4,10 +4,11 @@
 //! object on one line, in request order. The schema is deliberately small:
 //!
 //! ```json
-//! {"op":"predict","id":1,"kernel":{"text":"computation ...","kind":"loop_fusion","tile":[8,128]}}
+//! {"op":"predict","id":1,"kernel":{"text":"computation ...","kind":"loop_fusion","tile":[8,128]},"deadline_ms":50}
 //! {"op":"stats","id":2}
 //! {"op":"ping","id":3}
-//! {"op":"shutdown","id":4}
+//! {"op":"reload","id":4,"path":"/models/new.blob"}
+//! {"op":"shutdown","id":5}
 //! ```
 //!
 //! Replies echo the request `id` and carry `"ok":true` with the payload
@@ -16,14 +17,30 @@
 //!
 //! ```json
 //! {"id":1,"ok":true,"ns":10642.5}
+//! {"id":2,"ok":true,"ns":10642.5,"degraded":true}
 //! {"id":9,"ok":false,"error":{"code":"overloaded","message":"..."}}
+//! {"id":4,"ok":false,"error":{"code":"reload_rejected","reason":"tau","message":"..."}}
 //! ```
 //!
+//! `"degraded":true` marks predictions served while the backend circuit
+//! breaker was open (the fallback answered, not the primary); the field
+//! is omitted on the healthy path.
+//!
 //! Error codes: `parse` (line is not valid JSON), `bad_request` (JSON is
-//! valid but the fields are not), `hlo` (the kernel text does not parse),
-//! `overloaded` (admission control rejected the request), `budget` (the
-//! model-evaluation budget is spent and the kernel missed the cache), and
-//! `shutdown` (the engine is draining).
+//! valid but the fields are not — also oversized or non-UTF-8 lines),
+//! `hlo` (the kernel text does not parse), `overloaded` (admission
+//! control rejected the request), `budget` (the model-evaluation budget
+//! is spent and the kernel missed the cache), `deadline` (the request's
+//! deadline expired before an answer was ready), `backend_panic` (the
+//! backend panicked while scoring this batch), `reload_rejected` (a hot
+//! reload failed admission; `reason` is one of `disabled`/`io`/`parse`/
+//! `non_finite`/`tau`/`shutdown`), and `shutdown` (the engine is
+//! draining).
+//!
+//! Input limits: a request line longer than [`MAX_LINE_BYTES`], a tile
+//! with more than [`MAX_TILE_DIMS`] extents, or a reload path longer
+//! than [`MAX_PATH_BYTES`] is refused with `bad_request` — the daemon
+//! never buffers unboundedly on behalf of a client.
 //!
 //! Replies are built directly as [`serde::Value`] trees and printed with
 //! [`serde_json::to_string`], so the byte layout is deterministic — the
@@ -32,15 +49,37 @@
 use serde::Value;
 use tpu_hlo::{dump_computation, parse_computation, Kernel, KernelKind, TileSize};
 
+/// Longest accepted request line, in bytes. Anything longer is refused
+/// with `bad_request` instead of being buffered.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most tile extents accepted in a predict request (real tile sizes have
+/// a handful; an adversarial array must not allocate on our side).
+pub const MAX_TILE_DIMS: usize = 16;
+
+/// Longest accepted `reload` path, in bytes.
+pub const MAX_PATH_BYTES: usize = 4096;
+
+/// Highest accepted `deadline_ms` (24 hours — anything longer is a
+/// client bug, not a deadline).
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Score one kernel.
-    Predict { id: u64, spec: KernelSpec },
+    /// Score one kernel, optionally under a deadline.
+    Predict {
+        id: u64,
+        spec: KernelSpec,
+        /// Per-request deadline; `None` inherits the server default.
+        deadline_ms: Option<u64>,
+    },
     /// Report serving counters.
     Stats { id: u64 },
     /// Liveness check.
     Ping { id: u64 },
+    /// Hot-reload the serving model from a `tpu-frozen.v1` blob.
+    Reload { id: u64, path: String },
     /// Ask the daemon to drain and exit.
     Shutdown { id: u64 },
 }
@@ -52,6 +91,7 @@ impl Request {
             Request::Predict { id, .. }
             | Request::Stats { id }
             | Request::Ping { id }
+            | Request::Reload { id, .. }
             | Request::Shutdown { id } => *id,
         }
     }
@@ -156,6 +196,12 @@ fn parse_id(fields: &[(String, Value)]) -> Result<u64, WireError> {
 /// line was at least well-formed enough to recover it, so the error reply
 /// can still be correlated by the client.
 pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(WireError::bad_request(
+            None,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
     let value = serde_json::parse_value_str(line).map_err(|e| WireError {
         id: None,
         code: "parse",
@@ -172,6 +218,23 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "stats" => Ok(Request::Stats { id }),
         "ping" => Ok(Request::Ping { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "reload" => {
+            let path = field(fields, "path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| {
+                    WireError::bad_request(Some(id), "reload requires a string \"path\" field")
+                })?;
+            if path.len() > MAX_PATH_BYTES {
+                return Err(WireError::bad_request(
+                    Some(id),
+                    format!("reload path exceeds {MAX_PATH_BYTES} bytes"),
+                ));
+            }
+            Ok(Request::Reload {
+                id,
+                path: path.to_string(),
+            })
+        }
         "predict" => {
             let kernel = field(fields, "kernel")
                 .and_then(Value::as_object)
@@ -201,6 +264,12 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                     let dims = v.as_array().ok_or_else(|| {
                         WireError::bad_request(Some(id), "kernel \"tile\" must be an array")
                     })?;
+                    if dims.len() > MAX_TILE_DIMS {
+                        return Err(WireError::bad_request(
+                            Some(id),
+                            format!("tile has more than {MAX_TILE_DIMS} extents"),
+                        ));
+                    }
                     let mut extents = Vec::with_capacity(dims.len());
                     for d in dims {
                         match d.as_int() {
@@ -216,9 +285,22 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                     Some(extents)
                 }
             };
+            let deadline_ms = match field(fields, "deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => match v.as_int() {
+                    Some(n) if n >= 0 && n <= MAX_DEADLINE_MS as i128 => Some(n as u64),
+                    _ => {
+                        return Err(WireError::bad_request(
+                            Some(id),
+                            format!("\"deadline_ms\" must be an integer in 0..={MAX_DEADLINE_MS}"),
+                        ))
+                    }
+                },
+            };
             Ok(Request::Predict {
                 id,
                 spec: KernelSpec { text, kind, tile },
+                deadline_ms,
             })
         }
         other => Err(WireError::bad_request(Some(id), format!("unknown op {other:?}"))),
@@ -235,6 +317,15 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 
 /// Build a predict request line (used by the load generator and tests).
 pub fn predict_request_line(id: u64, kernel: &Kernel) -> String {
+    predict_request_line_with_deadline(id, kernel, None)
+}
+
+/// Build a predict request line carrying an explicit `deadline_ms`.
+pub fn predict_request_line_with_deadline(
+    id: u64,
+    kernel: &Kernel,
+    deadline_ms: Option<u64>,
+) -> String {
     let spec = KernelSpec::from_kernel(kernel);
     let mut k = vec![("text", Value::Str(spec.text))];
     if let Some(kind) = spec.kind {
@@ -246,10 +337,23 @@ pub fn predict_request_line(id: u64, kernel: &Kernel) -> String {
             Value::Array(tile.into_iter().map(|d| Value::UInt(d as u64)).collect()),
         ));
     }
-    render(&obj(vec![
+    let mut fields = vec![
         ("op", Value::Str("predict".to_string())),
         ("id", Value::UInt(id)),
         ("kernel", obj(k)),
+    ];
+    if let Some(d) = deadline_ms {
+        fields.push(("deadline_ms", Value::UInt(d)));
+    }
+    render(&obj(fields))
+}
+
+/// Build a reload request line.
+pub fn reload_request_line(id: u64, path: &str) -> String {
+    render(&obj(vec![
+        ("op", Value::Str("reload".to_string())),
+        ("id", Value::UInt(id)),
+        ("path", Value::Str(path.to_string())),
     ]))
 }
 
@@ -261,16 +365,49 @@ pub fn simple_request_line(op: &str, id: u64) -> String {
     ]))
 }
 
-/// Successful predict reply.
-pub fn predict_reply(id: u64, ns: Option<f64>) -> String {
+/// Successful predict reply. `degraded` marks answers served while the
+/// circuit breaker was open; the field is omitted on the healthy path so
+/// pre-breaker reply bytes are unchanged.
+pub fn predict_reply(id: u64, ns: Option<f64>, degraded: bool) -> String {
     let ns = match ns {
         Some(x) => Value::Float(x),
         None => Value::Null,
     };
-    render(&obj(vec![
+    let mut fields = vec![
         ("id", Value::UInt(id)),
         ("ok", Value::Bool(true)),
         ("ns", ns),
+    ];
+    if degraded {
+        fields.push(("degraded", Value::Bool(true)));
+    }
+    render(&obj(fields))
+}
+
+/// Reload acknowledgement: the new model epoch now serving.
+pub fn reload_reply(id: u64, epoch: u64) -> String {
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(true)),
+        ("reloaded", Value::Bool(true)),
+        ("epoch", Value::UInt(epoch)),
+    ]))
+}
+
+/// Reload rejection with its typed reason (`disabled`/`io`/`parse`/
+/// `non_finite`/`tau`/`shutdown`).
+pub fn reload_rejected_reply(id: u64, reason: &str, message: &str) -> String {
+    render(&obj(vec![
+        ("id", Value::UInt(id)),
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Value::Str("reload_rejected".to_string())),
+                ("reason", Value::Str(reason.to_string())),
+                ("message", Value::Str(message.to_string())),
+            ]),
+        ),
     ]))
 }
 
@@ -303,6 +440,15 @@ pub fn stats_reply(id: u64, stats: &crate::ServeStats, backend: &str) -> String 
         ("rejected", Value::UInt(stats.rejected)),
         ("budget_denied", Value::UInt(stats.budget_denied)),
         ("batches", Value::UInt(stats.batches)),
+        ("deadline_expired", Value::UInt(stats.deadline_expired)),
+        ("deadline_shed", Value::UInt(stats.deadline_shed)),
+        ("backend_panics", Value::UInt(stats.backend_panics)),
+        ("reloads", Value::UInt(stats.reloads)),
+        ("reloads_rejected", Value::UInt(stats.reloads_rejected)),
+        ("epoch", Value::UInt(stats.epoch)),
+        ("breaker", Value::Str(stats.breaker_state_name().to_string())),
+        ("breaker_trips", Value::UInt(stats.breaker_trips)),
+        ("breaker_open_served", Value::UInt(stats.breaker_open_served)),
         ("kernels", Value::UInt(stats.predict.kernels)),
         ("cache_hits", Value::UInt(stats.predict.cache_hits)),
         ("model_evals", Value::UInt(stats.predict.model_evals)),
@@ -354,8 +500,13 @@ mod tests {
         let line = predict_request_line(7, &kernel);
         let parsed = parse_request(&line).expect("round trip parses");
         match parsed {
-            Request::Predict { id, spec } => {
+            Request::Predict {
+                id,
+                spec,
+                deadline_ms,
+            } => {
                 assert_eq!(id, 7);
+                assert_eq!(deadline_ms, None);
                 let back = spec.to_kernel().expect("kernel parses");
                 assert_eq!(
                     tpu_hlo::canonical_kernel_hash(&back),
@@ -391,5 +542,74 @@ mod tests {
         ] {
             assert_eq!(parse_request(&simple_request_line(op, 2)).unwrap(), want);
         }
+    }
+
+    #[test]
+    fn deadline_field_round_trips_and_is_bounded() {
+        let kernel = demo_kernel();
+        let line = predict_request_line_with_deadline(9, &kernel, Some(50));
+        match parse_request(&line).unwrap() {
+            Request::Predict { deadline_ms, .. } => assert_eq!(deadline_ms, Some(50)),
+            other => panic!("expected predict, got {other:?}"),
+        }
+        // Zero is a valid (immediately-expiring) deadline.
+        let line = predict_request_line_with_deadline(9, &kernel, Some(0));
+        match parse_request(&line).unwrap() {
+            Request::Predict { deadline_ms, .. } => assert_eq!(deadline_ms, Some(0)),
+            other => panic!("expected predict, got {other:?}"),
+        }
+        // Negative or absurd deadlines are bad requests.
+        let err = parse_request(
+            "{\"op\":\"predict\",\"id\":9,\"kernel\":{\"text\":\"x\"},\"deadline_ms\":-1}",
+        )
+        .unwrap_err();
+        assert_eq!((err.code, err.id), ("bad_request", Some(9)));
+        let err = parse_request(
+            "{\"op\":\"predict\",\"id\":9,\"kernel\":{\"text\":\"x\"},\"deadline_ms\":99999999999}",
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn reload_parses_and_caps_the_path() {
+        let line = reload_request_line(5, "/models/new.blob");
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Reload {
+                id: 5,
+                path: "/models/new.blob".to_string()
+            }
+        );
+        let err = parse_request("{\"op\":\"reload\",\"id\":5}").unwrap_err();
+        assert_eq!((err.code, err.id), ("bad_request", Some(5)));
+        let long = "x".repeat(MAX_PATH_BYTES + 1);
+        let err = parse_request(&reload_request_line(5, &long)).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn oversized_lines_and_tiles_are_bad_requests() {
+        // A line over the cap is refused before JSON parsing (the padding
+        // is valid JSON whitespace, so the cap is what rejects it).
+        let mut line = " ".repeat(MAX_LINE_BYTES);
+        line.push_str("{\"op\":\"ping\",\"id\":1}");
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("exceeds"));
+
+        let dims = vec!["2"; MAX_TILE_DIMS + 1].join(",");
+        let line = format!(
+            "{{\"op\":\"predict\",\"id\":3,\"kernel\":{{\"text\":\"x\",\"tile\":[{dims}]}}}}"
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!((err.code, err.id), ("bad_request", Some(3)));
+    }
+
+    #[test]
+    fn degraded_marker_only_appears_when_set() {
+        assert!(!predict_reply(1, Some(2.0), false).contains("degraded"));
+        assert!(predict_reply(1, Some(2.0), true).contains("\"degraded\":true"));
+        assert!(predict_reply(1, None, true).contains("\"ns\":null"));
     }
 }

@@ -56,7 +56,16 @@ fn transcript() -> Vec<String> {
         "{\"op\":\"predict\",\"id\":8}".to_string(),
         "{\"op\":\"predict\",\"id\":9,\"kernel\":{\"text\":\"not hlo at all\"}}".to_string(),
         "{\"op\":\"teleport\",\"id\":10}".to_string(),
-        protocol::simple_request_line("shutdown", 11),
+        // Resilience surface: an already-expired deadline (0 ms always
+        // expires), a reload against an engine with no reload policy,
+        // and a tile whose rank exceeds the protocol cap.
+        protocol::predict_request_line_with_deadline(11, &a, Some(0)),
+        protocol::reload_request_line(12, "/tmp/does-not-exist.blob"),
+        format!(
+            "{{\"op\":\"predict\",\"id\":13,\"kernel\":{{\"text\":\"x\",\"tile\":[{}]}}}}",
+            vec!["8"; protocol::MAX_TILE_DIMS + 1].join(",")
+        ),
+        protocol::simple_request_line("shutdown", 14),
     ]
 }
 
@@ -163,5 +172,41 @@ fn transcript_replies_have_expected_shapes() {
     assert!(replies[7].contains("\"code\":\"bad_request\"") && replies[7].contains("\"id\":8"));
     assert!(replies[8].contains("\"code\":\"hlo\""));
     assert!(replies[9].contains("\"code\":\"bad_request\""));
-    assert!(replies[10].contains("\"shutdown\":true"));
+    assert!(
+        replies[10].contains("\"code\":\"deadline\""),
+        "a 0 ms deadline must expire before prediction: {}",
+        replies[10]
+    );
+    assert!(
+        replies[11].contains("\"code\":\"reload_rejected\"")
+            && replies[11].contains("\"reason\":\"disabled\""),
+        "reload without a policy must be rejected typed: {}",
+        replies[11]
+    );
+    assert!(replies[12].contains("\"code\":\"bad_request\""), "over-rank tile: {}", replies[12]);
+    assert!(replies[13].contains("\"shutdown\":true"));
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_breaking_the_stream() {
+    // Not part of the golden transcript (a megabyte request line does
+    // not belong in a reviewed snapshot): a line past MAX_LINE_BYTES
+    // must come back `bad_request` and the connection must keep serving
+    // subsequent well-formed lines.
+    let a = chain_kernel(1, 32);
+    let huge = format!("{{\"op\":\"predict\",\"id\":1,\"pad\":\"{}\"}}", "x".repeat(protocol::MAX_LINE_BYTES));
+    let lines = vec![
+        huge,
+        protocol::predict_request_line(2, &a),
+        protocol::simple_request_line("shutdown", 3),
+    ];
+    let replies = run_transcript(&lines);
+    assert_eq!(replies.len(), 3);
+    assert!(
+        replies[0].contains("\"code\":\"bad_request\"") && replies[0].contains("\"id\":null"),
+        "oversized line: {}",
+        replies[0]
+    );
+    assert!(replies[1].contains("\"ns\":200.5"), "stream must survive the oversized line");
+    assert!(replies[2].contains("\"shutdown\":true"));
 }
